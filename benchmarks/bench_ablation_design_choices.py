@@ -1,0 +1,74 @@
+"""Ablation — SAP design choices (not a paper table).
+
+DESIGN.md calls out the framework's main design decisions: the delay policy
+for forming the meaningful object set, the S-AVL structure (vs a plain
+re-scan), the amortized proactive formation, and the partitioner choice.
+Table 2 of the paper ablates the first two under the equal partitioner;
+this benchmark extends the ablation to the full configuration matrix the
+library exposes, on the two most contrasting datasets (TIMEU and TIMER),
+using the default query parameters.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table, write_results
+from repro.bench.workloads import dataset_stream
+from repro.core.framework import SAPTopK
+from repro.core.query import TopKQuery
+from repro.partitioning import EnhancedDynamicPartitioner, EqualPartitioner
+from repro.runner.engine import run_algorithm
+
+from conftest import run_sweep
+
+DATASETS = ["TIMEU", "TIMER"]
+
+CONFIGURATIONS = {
+    "equal / lazy / S-AVL": lambda q: SAPTopK(q, partitioner=EqualPartitioner()),
+    "equal / lazy / rescan": lambda q: SAPTopK(
+        q, partitioner=EqualPartitioner(), use_savl=False
+    ),
+    "equal / eager / S-AVL": lambda q: SAPTopK(
+        q, partitioner=EqualPartitioner(), meaningful_policy="eager"
+    ),
+    "equal / amortized / S-AVL": lambda q: SAPTopK(
+        q, partitioner=EqualPartitioner(), meaningful_policy="amortized"
+    ),
+    "enhanced / lazy / S-AVL": lambda q: SAPTopK(
+        q, partitioner=EnhancedDynamicPartitioner()
+    ),
+    "enhanced / amortized / S-AVL": lambda q: SAPTopK(
+        q, partitioner=EnhancedDynamicPartitioner(), meaningful_policy="amortized"
+    ),
+}
+
+
+def ablation_sweep(dataset, scale):
+    query = TopKQuery(n=scale.default_n, k=scale.default_k, s=scale.default_s)
+    objects = dataset_stream(dataset, scale.stream_length)
+    rows = []
+    for label, factory in CONFIGURATIONS.items():
+        report = run_algorithm(factory(query), objects, keep_results=False)
+        rows.append(
+            {
+                "dataset": dataset,
+                "configuration": label,
+                "seconds": report.elapsed_seconds,
+                "candidates": report.average_candidates,
+                "memory_kb": report.average_memory_kb,
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_ablation_design_choices(benchmark, scale, dataset):
+    rows = run_sweep(benchmark, ablation_sweep, dataset, scale)
+    assert len(rows) == len(CONFIGURATIONS)
+    table = format_table(
+        f"Ablation ({dataset}, {scale.name} scale): SAP design choices",
+        ["configuration", "seconds", "avg candidates", "memory KB"],
+        [[row["configuration"], row["seconds"], row["candidates"], row["memory_kb"]] for row in rows],
+    )
+    print("\n" + table)
+    write_results(f"ablation_{dataset.lower()}", table, raw={"rows": rows})
+    assert all(row["seconds"] > 0 for row in rows)

@@ -1,0 +1,63 @@
+"""Compare SAP against every baseline on a chosen dataset.
+
+Reproduces, at example scale, the comparison behind Figures 9 and 10 of the
+paper: the same stream is pushed through SAP (all three partitioners),
+MinTopK, SMA, k-skyband, and the brute-force oracle; the script verifies
+that all answers agree and prints a table of running time, average
+candidate count, and memory.
+
+Run with::
+
+    python examples/algorithm_comparison.py [DATASET]
+
+where DATASET is one of STOCK, TRIP, PLANET, TIMEU, TIMER (default TIMER).
+"""
+
+import sys
+
+from repro import (
+    BruteForceTopK,
+    KSkybandTopK,
+    MinTopK,
+    SAPTopK,
+    SMATopK,
+    TopKQuery,
+    compare_algorithms,
+)
+from repro.partitioning import DynamicPartitioner, EnhancedDynamicPartitioner, EqualPartitioner
+from repro.streams import make_dataset
+
+
+def main() -> None:
+    dataset = sys.argv[1].upper() if len(sys.argv) > 1 else "TIMER"
+    stream = make_dataset(dataset).take(8000)
+    query = TopKQuery(n=1000, k=20, s=50)
+
+    factories = [
+        BruteForceTopK,
+        lambda q: SAPTopK(q, partitioner=EqualPartitioner()),
+        lambda q: SAPTopK(q, partitioner=DynamicPartitioner()),
+        lambda q: SAPTopK(q, partitioner=EnhancedDynamicPartitioner()),
+        MinTopK,
+        SMATopK,
+        KSkybandTopK,
+    ]
+
+    print(f"dataset  : {dataset} ({len(stream)} objects)")
+    print(f"query    : {query.describe()}")
+    outcome = compare_algorithms(factories, stream, query)
+    print(f"all algorithms agree: {outcome.agree}\n")
+
+    header = f"{'algorithm':<26} {'seconds':>9} {'avg candidates':>15} {'memory KB':>11}"
+    print(header)
+    print("-" * len(header))
+    for name in outcome.names():
+        report = outcome.report(name)
+        print(
+            f"{name:<26} {report.elapsed_seconds:9.3f} "
+            f"{report.average_candidates:15.1f} {report.average_memory_kb:11.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

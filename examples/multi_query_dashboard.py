@@ -1,0 +1,47 @@
+"""Several continuous top-k queries sharing one pass over the stream.
+
+A monitoring dashboard rarely shows a single view: a trader may watch the
+top-5 transactions of the last minute, the top-20 of the last hour, and a
+tumbling per-day leaderboard at the same time.  The
+:class:`repro.MultiQueryEngine` feeds every stream object exactly once and
+lets each registered query slide its own window.
+
+Run with::
+
+    python examples/multi_query_dashboard.py
+"""
+
+from repro import MultiQueryEngine, SAPTopK, TopKQuery
+from repro.streams import StockStream
+
+
+def main() -> None:
+    stream = StockStream(stocks=200, seed=5).take(12_000)
+
+    engine = MultiQueryEngine()
+    views = {
+        "last-minute top-5": TopKQuery(n=500, k=5, s=100),
+        "last-hour top-20": TopKQuery(n=5000, k=20, s=500),
+        "per-day leaderboard": TopKQuery(n=2000, k=10, s=2000),
+    }
+    for name, query in views.items():
+        engine.register(name, SAPTopK(query))
+
+    answers = engine.run(stream)
+
+    print("dashboard views fed by a single pass over the stream\n")
+    for name, query in views.items():
+        results = answers[name]
+        final = results[-1]
+        best = final.objects[0]
+        print(f"{name:<22} ({query.describe()})")
+        print(f"  refreshed {len(results)} times; "
+              f"current best trade value {best.score:,.0f} "
+              f"(stock {best.payload.stock_id})")
+        algorithm = engine.algorithm(name)
+        print(f"  SAP kept {algorithm.candidate_count()} candidates; "
+              f"stats: {algorithm.stats.as_dict()}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Reproduction of "SAP: Improving Continuous Top-K Queries over Streaming Data".
+
+The public API mirrors the paper's structure:
+
+* :class:`repro.TopKQuery` -- the continuous query ``(n, k, s, F)``;
+* :class:`repro.SAPTopK` -- the SAP framework (the paper's contribution),
+  configurable with the equal, dynamic, or enhanced dynamic partitioner;
+* :class:`repro.MinTopK`, :class:`repro.KSkybandTopK`, :class:`repro.SMATopK`,
+  :class:`repro.BruteForceTopK` -- the competitors used in the evaluation;
+* :mod:`repro.streams` -- synthetic equivalents of the paper's datasets;
+* :mod:`repro.runner` -- engine, metrics, and agreement checking.
+
+Quickstart::
+
+    from repro import SAPTopK, TopKQuery, run_algorithm
+    from repro.streams import UncorrelatedStream
+
+    query = TopKQuery(n=1000, k=10, s=10)
+    stream = UncorrelatedStream(seed=1).take(5000)
+    report = run_algorithm(SAPTopK(query), stream)
+    print(report.summary())
+"""
+
+from .core import (
+    AlgorithmStateError,
+    ContinuousTopKAlgorithm,
+    InvalidPartitionError,
+    InvalidQueryError,
+    ReproError,
+    SAPTopK,
+    SlideEvent,
+    StreamObject,
+    TopKQuery,
+    TopKResult,
+    make_query,
+    results_agree,
+    top_k,
+)
+from .baselines import BruteForceTopK, KSkybandTopK, MinTopK, SMATopK
+from .partitioning import (
+    DynamicPartitioner,
+    EnhancedDynamicPartitioner,
+    EqualPartitioner,
+    Partitioner,
+)
+from .runner import MultiQueryEngine, RunReport, compare_algorithms, run_algorithm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "InvalidQueryError",
+    "InvalidPartitionError",
+    "AlgorithmStateError",
+    "StreamObject",
+    "TopKQuery",
+    "make_query",
+    "TopKResult",
+    "results_agree",
+    "top_k",
+    "SlideEvent",
+    "ContinuousTopKAlgorithm",
+    "SAPTopK",
+    "BruteForceTopK",
+    "KSkybandTopK",
+    "MinTopK",
+    "SMATopK",
+    "Partitioner",
+    "EqualPartitioner",
+    "DynamicPartitioner",
+    "EnhancedDynamicPartitioner",
+    "RunReport",
+    "run_algorithm",
+    "compare_algorithms",
+    "MultiQueryEngine",
+]
+
+
+def algorithm_registry():
+    """Factories of every algorithm keyed by the names used in the paper."""
+    return {
+        "SAP": lambda query: SAPTopK(query),
+        "SAP-equal": lambda query: SAPTopK(query, partitioner=EqualPartitioner()),
+        "SAP-dynamic": lambda query: SAPTopK(query, partitioner=DynamicPartitioner()),
+        "MinTopK": MinTopK,
+        "k-skyband": KSkybandTopK,
+        "SMA": SMATopK,
+        "brute-force": BruteForceTopK,
+    }

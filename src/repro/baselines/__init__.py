@@ -1,0 +1,8 @@
+"""Competitor algorithms the paper evaluates SAP against."""
+
+from .brute_force import BruteForceTopK
+from .kskyband import KSkybandTopK
+from .mintopk import MinTopK
+from .sma import SMATopK
+
+__all__ = ["BruteForceTopK", "KSkybandTopK", "MinTopK", "SMATopK"]

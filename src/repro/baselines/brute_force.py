@@ -1,0 +1,42 @@
+"""Brute-force continuous top-k: re-scan the window at every slide.
+
+This is both the correctness oracle of the test-suite and the naive
+baseline: it stores the whole window and recomputes the top-k from scratch
+whenever the window slides, paying ``O(n log k)`` per slide.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from ..core.interface import OBJECT_FOOTPRINT_BYTES, ContinuousTopKAlgorithm
+from ..core.object import StreamObject, top_k
+from ..core.query import TopKQuery
+from ..core.result import TopKResult
+from ..core.window import SlideEvent
+
+
+class BruteForceTopK(ContinuousTopKAlgorithm):
+    """Window re-scan at every slide (exact by construction)."""
+
+    name = "brute-force"
+
+    def __init__(self, query: TopKQuery) -> None:
+        super().__init__(query)
+        self._window: Deque[StreamObject] = deque()
+
+    def process_slide(self, event: SlideEvent) -> TopKResult:
+        for _ in event.expirations:
+            self._window.popleft()
+        self._window.extend(event.arrivals)
+        best = top_k(self._window, self.query.k)
+        return TopKResult.from_objects(event.index, event.window_end, best)
+
+    def candidate_count(self) -> int:
+        # The brute-force algorithm has no candidate set; its "candidates"
+        # are the entire window.
+        return len(self._window)
+
+    def memory_bytes(self) -> int:
+        return len(self._window) * OBJECT_FOOTPRINT_BYTES

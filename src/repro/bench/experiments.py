@@ -1,0 +1,206 @@
+"""Experiment drivers shared by the benchmark suite.
+
+Each helper reproduces the measurement loop behind one family of the
+paper's tables/figures: run a set of algorithms on a dataset under a query,
+record running time, average candidate count, and average memory, and
+return plain dictionaries the benchmark modules format into tables.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..baselines import BruteForceTopK, KSkybandTopK, MinTopK, SMATopK
+from ..core.framework import SAPTopK
+from ..core.interface import ContinuousTopKAlgorithm
+from ..core.query import TopKQuery
+from ..partitioning import DynamicPartitioner, EnhancedDynamicPartitioner, EqualPartitioner
+from ..runner.engine import run_algorithm
+from .workloads import BenchScale, dataset_stream
+
+AlgorithmFactory = Callable[[TopKQuery], ContinuousTopKAlgorithm]
+
+#: The algorithms compared throughout the evaluation section, keyed by the
+#: names used in the paper's figures.
+ALGORITHM_FACTORIES: Dict[str, AlgorithmFactory] = {
+    "SAP": lambda query: SAPTopK(query, partitioner=EnhancedDynamicPartitioner()),
+    "MinTopK": MinTopK,
+    "SMA": SMATopK,
+    "k-skyband": KSkybandTopK,
+}
+
+#: SAP configurations compared in Tables 2 and 3.
+PARTITIONER_FACTORIES: Dict[str, AlgorithmFactory] = {
+    "EQUAL": lambda query: SAPTopK(query, partitioner=EqualPartitioner()),
+    "DYNA": lambda query: SAPTopK(query, partitioner=DynamicPartitioner()),
+    "EN-DYNA": lambda query: SAPTopK(query, partitioner=EnhancedDynamicPartitioner()),
+}
+
+
+#: Cache of individual measurements so that tables sharing the same runs
+#: (e.g. Figure 9 / Table 6 / Table 8) do not recompute them.
+_MEASUREMENT_CACHE: Dict[Tuple[str, int, int, int, bool, str, int], Dict[str, float]] = {}
+
+
+def measure_one(
+    dataset: str,
+    query: TopKQuery,
+    name: str,
+    factory: AlgorithmFactory,
+    stream_length: int,
+) -> Dict[str, float]:
+    """Measure one algorithm on one workload (memoised)."""
+    key = (dataset, query.n, query.k, query.s, query.time_based, name, stream_length)
+    cached = _MEASUREMENT_CACHE.get(key)
+    if cached is not None:
+        return dict(cached)
+    objects = dataset_stream(dataset, stream_length)
+    report = run_algorithm(factory(query), objects, keep_results=False)
+    metrics = {
+        "seconds": report.elapsed_seconds,
+        "candidates": report.average_candidates,
+        "memory_kb": report.average_memory_kb,
+        "slides": float(report.slides),
+    }
+    _MEASUREMENT_CACHE[key] = dict(metrics)
+    return metrics
+
+
+def measure_algorithms(
+    dataset: str,
+    query: TopKQuery,
+    factories: Mapping[str, AlgorithmFactory],
+    stream_length: int,
+) -> Dict[str, Dict[str, float]]:
+    """Run every algorithm on the dataset and collect the three metrics."""
+    return {
+        name: measure_one(dataset, query, name, factory, stream_length)
+        for name, factory in factories.items()
+    }
+
+
+def sweep_parameter(
+    dataset: str,
+    scale: BenchScale,
+    parameter: str,
+    values: Sequence[int],
+    factories: Mapping[str, AlgorithmFactory],
+) -> List[Dict[str, object]]:
+    """Vary one query parameter (n, k, or s) keeping the others at their
+    defaults — the structure of Figures 9/10 and Tables 3/5-9."""
+    rows: List[Dict[str, object]] = []
+    for value in values:
+        n, k, s = scale.default_query_params()
+        if parameter == "n":
+            n = value
+        elif parameter == "k":
+            k = value
+        elif parameter == "s":
+            s = value
+        else:
+            raise ValueError(f"unknown parameter {parameter!r}")
+        k = min(k, n)
+        s = min(s, n)
+        query = TopKQuery(n=n, k=k, s=s)
+        measurements = measure_algorithms(dataset, query, factories, scale.stream_length)
+        for name, metrics in measurements.items():
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "parameter": parameter,
+                    "value": value,
+                    "algorithm": name,
+                    **metrics,
+                }
+            )
+    return rows
+
+
+def equal_partition_sweep(
+    dataset: str, scale: BenchScale, m_values: Optional[Sequence[int]] = None
+) -> List[Dict[str, object]]:
+    """Table 2: equal partition under different resolutions ``m``, comparing
+    the non-delay policy, Algorithm 1, and Algorithm 1 + S-AVL."""
+    n, k, s = scale.default_query_params()
+    query = TopKQuery(n=n, k=k, s=s)
+    rows: List[Dict[str, object]] = []
+    variants: Dict[str, Callable[[int], ContinuousTopKAlgorithm]] = {
+        "non-delay": lambda m: SAPTopK(
+            query,
+            partitioner=EqualPartitioner(m=m),
+            meaningful_policy="eager",
+            use_savl=False,
+        ),
+        "Algo1": lambda m: SAPTopK(
+            query, partitioner=EqualPartitioner(m=m), use_savl=False
+        ),
+        "Algo1+S-AVL": lambda m: SAPTopK(query, partitioner=EqualPartitioner(m=m)),
+    }
+    objects = dataset_stream(dataset, scale.stream_length)
+    for m in m_values or scale.m_values:
+        for variant, builder in variants.items():
+            report = run_algorithm(builder(m), objects, keep_results=False)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "m": m,
+                    "m_star": query.m_star,
+                    "variant": variant,
+                    "seconds": report.elapsed_seconds,
+                    "candidates": report.average_candidates,
+                }
+            )
+    return rows
+
+
+def partitioner_comparison(
+    dataset: str, scale: BenchScale, parameter: str, values: Sequence[int]
+) -> List[Dict[str, object]]:
+    """Table 3: EQUAL vs DYNA vs EN-DYNA while varying one parameter."""
+    return sweep_parameter(dataset, scale, parameter, values, PARTITIONER_FACTORIES)
+
+
+def oracle_check(dataset: str, scale: BenchScale) -> bool:
+    """Sanity helper: SAP agrees with the brute-force oracle on this scale's
+    default query (used by the benchmark suite as a guard)."""
+    from ..runner.comparison import compare_algorithms
+
+    n, k, s = scale.default_query_params()
+    query = TopKQuery(n=n, k=k, s=s)
+    objects = dataset_stream(dataset, scale.stream_length)
+    outcome = compare_algorithms([BruteForceTopK, SAPTopK], objects, query)
+    return outcome.agree
+
+
+def main(argv: Sequence[str]) -> int:  # pragma: no cover - CLI convenience
+    """Tiny CLI: ``python -m repro.bench.experiments fig9 STOCK``."""
+    from .reporting import format_table
+    from .workloads import scale_from_env
+
+    if len(argv) < 2:
+        print("usage: python -m repro.bench.experiments <fig9|table3> <DATASET>")
+        return 1
+    scale = scale_from_env()
+    kind, dataset = argv[0], argv[1]
+    if kind == "fig9":
+        rows = sweep_parameter(dataset, scale, "n", scale.n_values, ALGORITHM_FACTORIES)
+    elif kind == "table3":
+        rows = partitioner_comparison(dataset, scale, "k", scale.k_values)
+    else:
+        print(f"unknown experiment {kind!r}")
+        return 1
+    table = format_table(
+        f"{kind} on {dataset} ({scale.name} scale)",
+        ["algorithm", "parameter", "value", "seconds", "candidates", "memory_kb"],
+        [
+            [row["algorithm"], row["parameter"], row["value"], row["seconds"], row["candidates"], row["memory_kb"]]
+            for row in rows
+        ],
+    )
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main(sys.argv[1:]))

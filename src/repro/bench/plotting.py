@@ -1,0 +1,72 @@
+"""Text rendering of the paper's figures (running time vs parameter).
+
+The benchmark harness runs headless, so the figure benchmarks render their
+series as plain-text charts instead of image files: one column per swept
+parameter value, one bar row per algorithm, values normalised to the
+slowest algorithm of each column.  The rendering is deliberately simple —
+its purpose is to make the *shape* of each sub-figure (who is fastest,
+where curves cross) visible directly in the benchmark output and results
+files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+#: Width of one bar, in characters.
+BAR_WIDTH = 40
+
+
+def series_from_rows(
+    rows: Sequence[Mapping[str, object]],
+    value_key: str = "seconds",
+) -> Dict[str, Dict[object, float]]:
+    """Group sweep rows into ``{algorithm: {parameter value: metric}}``."""
+    series: Dict[str, Dict[object, float]] = {}
+    for row in rows:
+        algorithm = str(row["algorithm"])
+        series.setdefault(algorithm, {})[row["value"]] = float(row[value_key])
+    return series
+
+
+def render_series_chart(
+    title: str,
+    series: Mapping[str, Mapping[object, float]],
+    unit: str = "s",
+) -> str:
+    """Render one text chart per swept value, bars scaled per value."""
+    if not series:
+        return title
+    values: List[object] = []
+    for per_algorithm in series.values():
+        for value in per_algorithm:
+            if value not in values:
+                values.append(value)
+
+    lines = [title, "=" * len(title)]
+    name_width = max(len(name) for name in series)
+    for value in values:
+        lines.append(f"\nparameter value = {value}")
+        column = {
+            name: per_algorithm[value]
+            for name, per_algorithm in series.items()
+            if value in per_algorithm
+        }
+        worst = max(column.values()) or 1.0
+        for name in series:
+            if name not in column:
+                continue
+            metric = column[name]
+            bar = "#" * max(1, int(round(BAR_WIDTH * metric / worst)))
+            lines.append(f"  {name.ljust(name_width)}  {bar} {metric:.4f}{unit}")
+    return "\n".join(lines)
+
+
+def render_sweep(
+    title: str,
+    rows: Sequence[Mapping[str, object]],
+    value_key: str = "seconds",
+    unit: str = "s",
+) -> str:
+    """Convenience wrapper: group rows then render the chart."""
+    return render_series_chart(title, series_from_rows(rows, value_key), unit=unit)

@@ -1,0 +1,64 @@
+"""Plain-text reporting of benchmark results in the paper's table style."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: Directory (relative to the repository root / current directory) where
+#: benchmark tables are written.
+RESULTS_DIR = os.environ.get("REPRO_BENCH_RESULTS", "benchmarks/results")
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Format a list of rows as a fixed-width text table."""
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in rendered)) if rendered else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    lines = [title, "-" * len(title)]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def write_results(
+    name: str,
+    table_text: str,
+    raw: Optional[Mapping] = None,
+    directory: Optional[str] = None,
+) -> str:
+    """Write a formatted table (and optional raw JSON) under the results dir.
+
+    Returns the path of the text file.  Failures to write (e.g. read-only
+    checkouts) are tolerated: the table is still printed to stdout by the
+    caller, so no data is lost.
+    """
+    directory = directory or RESULTS_DIR
+    try:
+        os.makedirs(directory, exist_ok=True)
+        text_path = os.path.join(directory, f"{name}.txt")
+        with open(text_path, "w") as handle:
+            handle.write(table_text + "\n")
+        if raw is not None:
+            with open(os.path.join(directory, f"{name}.json"), "w") as handle:
+                json.dump(raw, handle, indent=2, default=str)
+        return text_path
+    except OSError:
+        return ""

@@ -1,0 +1,139 @@
+"""Command-line interface of the reproduction library.
+
+Two subcommands are provided:
+
+``run``
+    Run one algorithm over one of the built-in datasets and print the
+    summary (running time, average candidate count, memory) plus the final
+    window's answer.
+
+``compare``
+    Run several algorithms over the same stream, verify that their answers
+    agree, and print a comparison table.
+
+Examples::
+
+    python -m repro run --dataset STOCK --n 1000 --k 10 --s 50
+    python -m repro compare --dataset TIMER --n 1000 --k 20 --s 50 \
+        --algorithms SAP MinTopK k-skyband
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .baselines import BruteForceTopK, KSkybandTopK, MinTopK, SMATopK
+from .core.framework import SAPTopK
+from .core.interface import ContinuousTopKAlgorithm
+from .core.query import TopKQuery
+from .partitioning import DynamicPartitioner, EnhancedDynamicPartitioner, EqualPartitioner
+from .runner.comparison import compare_algorithms
+from .runner.engine import run_algorithm
+from .streams import dataset_names, make_dataset
+
+AlgorithmFactory = Callable[[TopKQuery], ContinuousTopKAlgorithm]
+
+#: Algorithms addressable from the command line.
+CLI_ALGORITHMS: Dict[str, AlgorithmFactory] = {
+    "SAP": lambda q: SAPTopK(q),
+    "SAP-equal": lambda q: SAPTopK(q, partitioner=EqualPartitioner()),
+    "SAP-dynamic": lambda q: SAPTopK(q, partitioner=DynamicPartitioner()),
+    "SAP-enhanced": lambda q: SAPTopK(q, partitioner=EnhancedDynamicPartitioner()),
+    "MinTopK": MinTopK,
+    "SMA": SMATopK,
+    "k-skyband": KSkybandTopK,
+    "brute-force": BruteForceTopK,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Continuous top-k queries over streaming data (SAP reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dataset",
+            default="TIMEU",
+            choices=dataset_names(),
+            help="built-in synthetic dataset to stream",
+        )
+        sub.add_argument("--objects", type=int, default=8000, help="stream length")
+        sub.add_argument("--n", type=int, default=1000, help="window size")
+        sub.add_argument("--k", type=int, default=10, help="result size")
+        sub.add_argument("--s", type=int, default=50, help="slide size")
+
+    run_parser = subparsers.add_parser("run", help="run a single algorithm")
+    add_common(run_parser)
+    run_parser.add_argument(
+        "--algorithm", default="SAP", choices=sorted(CLI_ALGORITHMS), help="algorithm to run"
+    )
+    run_parser.add_argument(
+        "--show", type=int, default=5, help="how many of the final top-k objects to print"
+    )
+
+    compare_parser = subparsers.add_parser("compare", help="compare several algorithms")
+    add_common(compare_parser)
+    compare_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["SAP", "MinTopK", "k-skyband"],
+        choices=sorted(CLI_ALGORITHMS),
+        help="algorithms to compare (answers are checked for agreement)",
+    )
+    return parser
+
+
+def _query_from_args(args: argparse.Namespace) -> TopKQuery:
+    return TopKQuery(n=args.n, k=args.k, s=args.s)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    query = _query_from_args(args)
+    stream = make_dataset(args.dataset).take(args.objects)
+    algorithm = CLI_ALGORITHMS[args.algorithm](query)
+    report = run_algorithm(algorithm, stream)
+    print(f"dataset   : {args.dataset} ({args.objects} objects)")
+    print(f"query     : {query.describe()}")
+    print(report.summary())
+    if report.results:
+        final = report.results[-1]
+        print(f"final window top-{min(args.show, len(final))} scores:")
+        for obj in list(final)[: args.show]:
+            print(f"  score={obj.score:.6g}  t={obj.t}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    query = _query_from_args(args)
+    stream = make_dataset(args.dataset).take(args.objects)
+    factories = [CLI_ALGORITHMS[name] for name in args.algorithms]
+    outcome = compare_algorithms(factories, stream, query)
+    print(f"dataset   : {args.dataset} ({args.objects} objects)")
+    print(f"query     : {query.describe()}")
+    print(f"agreement : {outcome.agree}")
+    header = f"{'algorithm':<24} {'seconds':>9} {'candidates':>11} {'memory KB':>10}"
+    print(header)
+    print("-" * len(header))
+    for name in outcome.names():
+        report = outcome.report(name)
+        print(
+            f"{name:<24} {report.elapsed_seconds:9.3f} "
+            f"{report.average_candidates:11.1f} {report.average_memory_kb:10.1f}"
+        )
+    return 0 if outcome.agree else 2
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the test-suite."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 1  # pragma: no cover

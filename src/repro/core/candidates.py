@@ -1,0 +1,186 @@
+"""The SAP candidate set ``C = ∪ P_i^k`` with merge-and-refine maintenance.
+
+Section 3.1 of the paper (Figure 4) describes how the top-k of a freshly
+sealed partition is merged into the candidate set: both lists are scanned in
+score order, every existing candidate receives a dominance-counter increment
+equal to the number of newly merged objects that rank above it (those
+objects arrived later, hence dominate it), and candidates whose counter
+reaches ``k`` are removed — they can never become results again.
+
+The class below implements exactly that merge, plus the order-statistic
+queries the framework needs: the group dominance number ``P_i.ρ`` and the
+global pruning threshold ``F_θ`` used by the S-AVL construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..structures.avl import AVLTree
+from .object import StreamObject
+
+RankKey = Tuple[float, int]
+
+
+@dataclass
+class CandidateEntry:
+    """A candidate object together with its refinement bookkeeping."""
+
+    obj: StreamObject
+    partition_id: int
+    dominance: int = 0
+
+    @property
+    def rank_key(self) -> RankKey:
+        return self.obj.rank_key
+
+
+class CandidateSet:
+    """Ordered collection of candidate objects keyed by ``(score, t)``."""
+
+    def __init__(self) -> None:
+        self._tree = AVLTree()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __contains__(self, rank_key: RankKey) -> bool:
+        return rank_key in self._tree
+
+    def get(self, rank_key: RankKey) -> Optional[CandidateEntry]:
+        return self._tree.get(rank_key)
+
+    def iter_descending(self) -> Iterator[CandidateEntry]:
+        for _, entry in self._tree.items_descending():
+            yield entry
+
+    def entries(self) -> List[CandidateEntry]:
+        return [entry for _, entry in self._tree.items()]
+
+    # ------------------------------------------------------------------
+    def add(self, obj: StreamObject, partition_id: int, dominance: int = 0) -> CandidateEntry:
+        """Insert a candidate (used for promotions from the S-AVL)."""
+        entry = CandidateEntry(obj=obj, partition_id=partition_id, dominance=dominance)
+        self._tree.insert(obj.rank_key, entry)
+        return entry
+
+    def remove(self, rank_key: RankKey) -> Optional[CandidateEntry]:
+        """Remove and return the entry with this key, if present."""
+        entry = self._tree.get(rank_key)
+        if entry is None:
+            return None
+        self._tree.remove(rank_key)
+        return entry
+
+    # ------------------------------------------------------------------
+    def merge_partition_topk(
+        self, new_objects: Sequence[StreamObject], partition_id: int, k: int
+    ) -> List[CandidateEntry]:
+        """Merge a sealed partition's ``P_i^k`` into the candidate set.
+
+        ``new_objects`` are the partition's top-k.  Every existing candidate
+        receives a dominance increment equal to the number of new objects
+        ranking above it; entries reaching ``k`` dominators are removed and
+        returned so the framework can update its per-partition accounting.
+        Finally the new objects are inserted with a dominance count of zero
+        (nothing newer exists yet).
+        """
+        removed: List[CandidateEntry] = []
+        if new_objects:
+            ordered_new = sorted(new_objects, key=lambda o: o.rank_key, reverse=True)
+            to_delete: List[RankKey] = []
+            new_index = 0
+            seen_new = 0
+            for key, entry in self._tree.items_descending():
+                while new_index < len(ordered_new) and ordered_new[new_index].rank_key > key:
+                    seen_new += 1
+                    new_index += 1
+                if seen_new == 0:
+                    continue
+                entry.dominance += seen_new
+                if entry.dominance >= k:
+                    to_delete.append(key)
+            for key in to_delete:
+                entry = self._tree.get(key)
+                if entry is not None:
+                    removed.append(entry)
+                    self._tree.remove(key)
+            for obj in ordered_new:
+                self.add(obj, partition_id=partition_id, dominance=0)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries used by the SAP framework
+    # ------------------------------------------------------------------
+    def top_entries(self, count: int) -> List[CandidateEntry]:
+        """The ``count`` best candidates, best first."""
+        result: List[CandidateEntry] = []
+        for entry in self.iter_descending():
+            if len(result) >= count:
+                break
+            result.append(entry)
+        return result
+
+    def top_scores(self, count: int) -> List[float]:
+        """Scores of the best ``count`` candidates (for the WRT evaluation)."""
+        return [entry.obj.score for entry in self.top_entries(count)]
+
+    def group_dominance(self, kth_key: RankKey, partition_id: int, k: int) -> int:
+        """Group dominance number ``P_i.ρ`` (Definition 1 of the paper).
+
+        Counts candidates ranking above ``kth_key`` that belong to a
+        different partition.  The scan stops early once ``k`` dominators are
+        found because the framework never needs a larger value.
+        """
+        return self.group_dominance_excluding(kth_key, {partition_id}, k)
+
+    def group_dominance_excluding(
+        self, kth_key: RankKey, exclude_partition_ids: Iterable[int], k: int
+    ) -> int:
+        """Group dominance number counting only candidates owned by
+        partitions outside ``exclude_partition_ids``.
+
+        The amortized proactive formation of the S-AVL needs this variant:
+        when ``M_1`` is prepared while ``P_0`` is still expiring, candidates
+        of both ``P_0`` and ``P_1`` must be ignored because ``P_0`` leaves
+        the window before ``P_1`` does.
+        """
+        excluded = set(exclude_partition_ids)
+        count = 0
+        for key, entry in self._tree.items_descending():
+            if key <= kth_key:
+                break
+            if entry.partition_id not in excluded:
+                count += 1
+                if count >= k:
+                    break
+        return count
+
+    def global_threshold(self, exclude_partition_id: int, k: int) -> Optional[RankKey]:
+        """``F_θ``: rank key of the k-th best candidate outside a partition.
+
+        Returns ``None`` when fewer than ``k`` such candidates exist (no
+        global pruning possible).
+        """
+        return self.global_threshold_excluding({exclude_partition_id}, k)
+
+    def global_threshold_excluding(
+        self, exclude_partition_ids: Iterable[int], k: int
+    ) -> Optional[RankKey]:
+        """``F_θ`` computed while ignoring several partitions (see
+        :meth:`group_dominance_excluding` for when this is needed)."""
+        excluded = set(exclude_partition_ids)
+        count = 0
+        for key, entry in self._tree.items_descending():
+            if entry.partition_id in excluded:
+                continue
+            count += 1
+            if count == k:
+                return key
+        return None
+
+    def count_for_partition(self, partition_id: int) -> int:
+        """Number of candidates currently owned by a partition (O(|C|))."""
+        return sum(1 for entry in self.iter_descending() if entry.partition_id == partition_id)

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the SAP reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class without also swallowing programming errors
+such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by this library."""
+
+
+class InvalidQueryError(ReproError):
+    """Raised when a continuous top-k query specification is inconsistent.
+
+    Examples: non-positive window size, a slide larger than the window, or a
+    ``k`` larger than the window size.
+    """
+
+
+class InvalidPartitionError(ReproError):
+    """Raised when a partitioning decision violates the SAP constraints.
+
+    The SAP framework requires every partition to contain a whole number of
+    slides and at least ``max(s, k)`` objects (Section 4 of the paper).
+    """
+
+
+class StreamExhaustedError(ReproError):
+    """Raised when a stream source is asked for objects it cannot supply."""
+
+
+class AlgorithmStateError(ReproError):
+    """Raised when an algorithm is driven through an invalid state
+    transition (for example, asking for results before the first full
+    window has been observed)."""

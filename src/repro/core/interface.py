@@ -1,0 +1,62 @@
+"""Common interface of every continuous top-k algorithm in the library.
+
+All algorithms — the SAP framework and the three competitors from the paper
+(k-skyband, MinTopK, SMA) plus the brute-force oracle — consume the same
+slide events produced by :mod:`repro.core.window` and emit one
+:class:`~repro.core.result.TopKResult` per window position.  They also
+expose the two bookkeeping quantities the paper's evaluation tracks:
+the current candidate-set size and an estimate of the memory occupied by
+the algorithm's own structures (excluding the raw stream).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List
+
+from .query import TopKQuery
+from .result import TopKResult
+from .window import SlideEvent, slides_for_query
+from ..core.object import StreamObject
+
+#: Approximate footprint of one candidate record (object reference, score,
+#: arrival order, counters).  Matches the scale of the per-candidate memory
+#: the paper reports (tens of bytes per candidate).
+OBJECT_FOOTPRINT_BYTES = 32
+#: Approximate footprint of one auxiliary pointer (lbp entries, stack cells,
+#: tree nodes, grid cell headers).
+POINTER_FOOTPRINT_BYTES = 16
+
+
+class ContinuousTopKAlgorithm(ABC):
+    """Base class of every continuous top-k algorithm."""
+
+    #: Display name used in benchmark tables.
+    name: str = "algorithm"
+
+    def __init__(self, query: TopKQuery) -> None:
+        self.query = query
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def process_slide(self, event: SlideEvent) -> TopKResult:
+        """Consume one window movement and return the current top-k."""
+
+    # ------------------------------------------------------------------
+    def candidate_count(self) -> int:
+        """Number of candidate objects currently maintained.
+
+        This is the quantity reported in Tables 6 and 7 of the paper.  The
+        default of zero is only suitable for algorithms without a candidate
+        set (the brute-force oracle).
+        """
+        return 0
+
+    def memory_bytes(self) -> int:
+        """Estimated memory footprint of the algorithm's own structures."""
+        return self.candidate_count() * OBJECT_FOOTPRINT_BYTES
+
+    # ------------------------------------------------------------------
+    def run(self, objects: Iterable[StreamObject]) -> List[TopKResult]:
+        """Convenience driver: push a whole stream through the algorithm."""
+        return [self.process_slide(event) for event in slides_for_query(objects, self.query)]

@@ -1,0 +1,149 @@
+"""Partitions (sub-windows) of the SAP framework.
+
+A partition ``P_i`` is a contiguous run of stream objects.  The framework
+keeps, for every sealed partition, its full object list (needed to form the
+meaningful object set when the partition reaches the front of the window),
+its local top-k ``P_i^k``, and — when the partition was produced by the
+enhanced dynamic partitioner — the per-unit summaries ``L_i`` used by the
+segmentation-based S-AVL construction (UBSA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .object import StreamObject, top_k
+
+RankKey = Tuple[float, int]
+
+
+@dataclass
+class UnitSummary:
+    """Summary ``L_i[v]`` of one unit of a partition (Section 4.3).
+
+    ``start`` / ``end`` delimit the unit inside the partition's object list
+    (``end`` exclusive).  For a k-unit the summary holds the unit's true
+    top-k objects ``U_v^k``; for a non-k-unit it holds only the single
+    highest-scored object.
+    """
+
+    start: int
+    end: int
+    is_k_unit: bool
+    summary: List[StreamObject]
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    @property
+    def max_key(self) -> RankKey:
+        return max(obj.rank_key for obj in self.summary)
+
+    @property
+    def min_summary_key(self) -> RankKey:
+        return min(obj.rank_key for obj in self.summary)
+
+
+@dataclass
+class PartitionSpec:
+    """Decision returned by a partitioner: seal these pending objects as a
+    new partition, optionally with unit metadata for UBSA."""
+
+    objects: List[StreamObject]
+    units: Optional[List[UnitSummary]] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.objects)
+
+
+@dataclass
+class Partition:
+    """A sealed partition ``P_i`` of the query window."""
+
+    partition_id: int
+    objects: List[StreamObject]
+    k: int
+    units: Optional[List[UnitSummary]] = None
+    #: How many of ``objects`` (a prefix) have already expired.
+    expired_prefix: int = 0
+    #: Group dominance number, computed when the partition becomes the front.
+    rho: Optional[int] = None
+    #: The local top-k ``P_i^k`` (best first), computed at seal time.
+    topk: List[StreamObject] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.objects:
+            raise ValueError("a partition cannot be empty")
+        if not self.topk:
+            self.topk = top_k(self.objects, self.k)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    @property
+    def live_count(self) -> int:
+        return len(self.objects) - self.expired_prefix
+
+    @property
+    def fully_expired(self) -> bool:
+        return self.expired_prefix >= len(self.objects)
+
+    @property
+    def kth_key(self) -> RankKey:
+        """Rank key of the k-th best object of the partition (its weakest
+        candidate)."""
+        return self.topk[-1].rank_key
+
+    @property
+    def oldest_live_t(self) -> Optional[int]:
+        if self.fully_expired:
+            return None
+        return self.objects[self.expired_prefix].t
+
+    def topk_keys(self) -> List[RankKey]:
+        return [obj.rank_key for obj in self.topk]
+
+    def non_candidate_objects(self) -> List[StreamObject]:
+        """Objects of the partition outside ``P_i^k`` (any order)."""
+        candidate_keys = set(self.topk_keys())
+        return [obj for obj in self.objects if obj.rank_key not in candidate_keys]
+
+    def expire_one(self, obj: StreamObject) -> None:
+        """Record the expiration of the partition's oldest live object."""
+        expected = self.objects[self.expired_prefix]
+        if expected.t != obj.t:
+            raise ValueError(
+                f"expiration order violated: expected t={expected.t}, got t={obj.t}"
+            )
+        self.expired_prefix += 1
+
+
+def build_partition(
+    partition_id: int,
+    objects: Sequence[StreamObject],
+    k: int,
+    units: Optional[List[UnitSummary]] = None,
+) -> Partition:
+    """Create a sealed partition, deriving ``P_i^k`` from unit summaries when
+    available (the union of unit summaries is a superset of the partition's
+    top-k) and from a direct scan otherwise."""
+    objects = list(objects)
+    if units:
+        pool: List[StreamObject] = []
+        for unit in units:
+            pool.extend(unit.summary)
+        topk = top_k(pool, k)
+        # Unit summaries of non-k-units only keep the top-1 object, so for
+        # very small partitions the pooled summaries may not contain k
+        # objects; fall back to a direct scan in that case.
+        if len(topk) < min(k, len(objects)):
+            topk = top_k(objects, k)
+    else:
+        topk = top_k(objects, k)
+    return Partition(
+        partition_id=partition_id, objects=objects, k=k, units=units, topk=topk
+    )

@@ -1,0 +1,306 @@
+"""Sliding-window substrate.
+
+The algorithms in this library are all driven by a common abstraction: a
+sequence of :class:`SlideEvent` objects.  Each event describes one movement
+of the window and carries
+
+* ``arrivals`` — the objects that entered the window during this slide, and
+* ``expirations`` — the objects that left the window during this slide.
+
+For the classic count-based window ``⟨n, s⟩`` every event (after the window
+has filled) contains exactly ``s`` arrivals and ``s`` expirations.  For a
+time-based window the counts vary from slide to slide.  Algorithms that are
+window-type agnostic (SAP, the brute-force oracle, k-skyband) simply consume
+the events; algorithms that exploit the count-based structure (MinTopK)
+assert it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .exceptions import InvalidQueryError
+from .object import StreamObject
+from .query import TopKQuery
+
+
+@dataclass(frozen=True)
+class SlideEvent:
+    """One movement of the sliding window.
+
+    Attributes
+    ----------
+    index:
+        Zero-based index of the reported window (0 = first full window).
+    arrivals:
+        Objects that entered the window since the previous report, oldest
+        first.
+    expirations:
+        Objects that left the window since the previous report, oldest
+        first.
+    window_end:
+        Arrival order / timestamp of the newest object in the window.
+    """
+
+    index: int
+    arrivals: Tuple[StreamObject, ...]
+    expirations: Tuple[StreamObject, ...]
+    window_end: int
+
+
+class SlidingWindow:
+    """Materialised view of the current window contents.
+
+    The class is a thin wrapper around a deque that additionally checks the
+    fundamental invariant of sliding windows: objects expire in exactly the
+    order they arrived.
+    """
+
+    def __init__(self) -> None:
+        self._objects: Deque[StreamObject] = deque()
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[StreamObject]:
+        return iter(self._objects)
+
+    @property
+    def oldest(self) -> StreamObject:
+        return self._objects[0]
+
+    @property
+    def newest(self) -> StreamObject:
+        return self._objects[-1]
+
+    def contents(self) -> List[StreamObject]:
+        """Snapshot of the window contents, oldest first."""
+        return list(self._objects)
+
+    def append(self, obj: StreamObject) -> None:
+        if self._objects and obj.t < self._objects[-1].t:
+            raise InvalidQueryError(
+                "stream objects must arrive in non-decreasing order of t; "
+                f"got t={obj.t} after t={self._objects[-1].t}"
+            )
+        self._objects.append(obj)
+
+    def expire_oldest(self, count: int) -> List[StreamObject]:
+        """Remove and return the ``count`` oldest objects."""
+        removed = []
+        for _ in range(count):
+            removed.append(self._objects.popleft())
+        return removed
+
+    def expire_older_than(self, cutoff: int) -> List[StreamObject]:
+        """Remove and return every object whose arrival time precedes
+        ``cutoff`` (time-based windows)."""
+        removed = []
+        while self._objects and self._objects[0].arrival_time < cutoff:
+            removed.append(self._objects.popleft())
+        return removed
+
+
+class SlideBatcher:
+    """Incremental slide-event builder (one object at a time).
+
+    The generator functions below consume a whole stream; the batcher is
+    their push-based counterpart, used when several queries with different
+    window parameters must share a single pass over the stream (see
+    :class:`repro.runner.multiquery.MultiQueryEngine`).  Feeding the same
+    objects to a batcher produces exactly the same events as the
+    corresponding generator, except that time-based windows emit their final
+    (end-of-stream) report only when :meth:`flush` is called.
+    """
+
+    def __init__(self, query: TopKQuery) -> None:
+        self.query = query
+        self._window = SlidingWindow()
+        self._pending: List[StreamObject] = []
+        self._index = 0
+        self._filled = False
+        self._report_time: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def push(self, obj: StreamObject) -> List[SlideEvent]:
+        """Feed one object; return the slide events it completes (0+)."""
+        if self.query.time_based:
+            return self._push_time_based(obj)
+        return self._push_count_based(obj)
+
+    def flush(self) -> List[SlideEvent]:
+        """Emit the final report of a time-based window (if any)."""
+        if not self.query.time_based or self._report_time is None:
+            return []
+        event = self._emit_time_based(self._report_time)
+        self._report_time = None
+        return [event]
+
+    # ------------------------------------------------------------------
+    def _push_count_based(self, obj: StreamObject) -> List[SlideEvent]:
+        self._window.append(obj)
+        self._pending.append(obj)
+        if not self._filled:
+            if len(self._window) < self.query.n:
+                return []
+            self._filled = True
+            return [self._emit(expirations=[])]
+        if len(self._pending) < self.query.s:
+            return []
+        expired = self._window.expire_oldest(self.query.s)
+        return [self._emit(expirations=expired)]
+
+    def _push_time_based(self, obj: StreamObject) -> List[SlideEvent]:
+        events: List[SlideEvent] = []
+        if self._report_time is None:
+            self._report_time = obj.arrival_time + self.query.n
+        while obj.arrival_time > self._report_time:
+            events.append(self._emit_time_based(self._report_time))
+            self._report_time += self.query.s
+        self._window.append(obj)
+        self._pending.append(obj)
+        return events
+
+    def _emit_time_based(self, now: int) -> SlideEvent:
+        expired = self._window.expire_older_than(now - self.query.n + 1)
+        expired_ids = {o.t for o in expired}
+        pending_ids = {o.t for o in self._pending}
+        arrivals = [o for o in self._pending if o.t not in expired_ids]
+        expirations = [o for o in expired if o.t not in pending_ids]
+        event = SlideEvent(
+            index=self._index,
+            arrivals=tuple(arrivals),
+            expirations=tuple(expirations),
+            window_end=now,
+        )
+        self._index += 1
+        self._pending = []
+        return event
+
+    def _emit(self, expirations: Sequence[StreamObject]) -> SlideEvent:
+        event = SlideEvent(
+            index=self._index,
+            arrivals=tuple(self._pending),
+            expirations=tuple(expirations),
+            window_end=self._pending[-1].t if self._pending else self._window.newest.t,
+        )
+        self._index += 1
+        self._pending = []
+        return event
+
+
+def count_based_slides(
+    objects: Iterable[StreamObject], query: TopKQuery
+) -> Iterator[SlideEvent]:
+    """Generate slide events for a count-based window.
+
+    The first event is emitted when ``n`` objects have arrived; afterwards
+    one event is emitted per ``s`` arrivals.  Trailing objects that do not
+    fill a whole slide are discarded, mirroring the paper's setup where
+    ``s`` divides the processed stream length.
+    """
+    if query.time_based:
+        raise InvalidQueryError("count_based_slides requires a count-based query")
+
+    window = SlidingWindow()
+    pending_arrivals: List[StreamObject] = []
+    pending_expirations: List[StreamObject] = []
+    index = 0
+    filled = False
+
+    for obj in objects:
+        window.append(obj)
+        pending_arrivals.append(obj)
+        if not filled:
+            if len(window) == query.n:
+                filled = True
+                yield SlideEvent(
+                    index=index,
+                    arrivals=tuple(pending_arrivals),
+                    expirations=tuple(pending_expirations),
+                    window_end=obj.t,
+                )
+                index += 1
+                pending_arrivals = []
+                pending_expirations = []
+            continue
+
+        if len(pending_arrivals) == query.s:
+            pending_expirations = window.expire_oldest(query.s)
+            yield SlideEvent(
+                index=index,
+                arrivals=tuple(pending_arrivals),
+                expirations=tuple(pending_expirations),
+                window_end=obj.t,
+            )
+            index += 1
+            pending_arrivals = []
+            pending_expirations = []
+
+
+def time_based_slides(
+    objects: Iterable[StreamObject], query: TopKQuery
+) -> Iterator[SlideEvent]:
+    """Generate slide events for a time-based window.
+
+    ``query.n`` is the window duration and ``query.s`` the slide duration,
+    both in the same time unit as ``StreamObject.t``.  A report is produced
+    at every multiple of ``s`` once at least one full window duration has
+    elapsed since the first object.  Objects are assumed sorted by ``t``.
+    """
+    if not query.time_based:
+        raise InvalidQueryError("time_based_slides requires a time-based query")
+
+    window = SlidingWindow()
+    iterator = iter(objects)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return
+
+    window.append(first)
+    start_time = first.arrival_time
+    pending_arrivals: List[StreamObject] = [first]
+    # The first report covers the window ending at start_time + n.
+    report_time = start_time + query.n
+    index = 0
+
+    def make_event(now: int, expirations: Sequence[StreamObject]) -> SlideEvent:
+        # An object that arrives and falls out of the window before the very
+        # first report was never visible to any consumer: drop it from both
+        # lists instead of reporting a phantom expiration.
+        expired_ids = {obj.t for obj in expirations}
+        pending_ids = {obj.t for obj in pending_arrivals}
+        visible_arrivals = [obj for obj in pending_arrivals if obj.t not in expired_ids]
+        visible_expirations = [obj for obj in expirations if obj.t not in pending_ids]
+        return SlideEvent(
+            index=index,
+            arrivals=tuple(visible_arrivals),
+            expirations=tuple(visible_expirations),
+            window_end=now,
+        )
+
+    for obj in iterator:
+        while obj.arrival_time > report_time:
+            expirations = window.expire_older_than(report_time - query.n + 1)
+            yield make_event(report_time, expirations)
+            index += 1
+            pending_arrivals = []
+            report_time += query.s
+        window.append(obj)
+        pending_arrivals.append(obj)
+
+    # Final report covering the last full window.
+    expirations = window.expire_older_than(report_time - query.n + 1)
+    yield make_event(report_time, expirations)
+
+
+def slides_for_query(
+    objects: Iterable[StreamObject], query: TopKQuery
+) -> Iterator[SlideEvent]:
+    """Dispatch to the count-based or time-based slide generator."""
+    if query.time_based:
+        return time_based_slides(objects, query)
+    return count_based_slides(objects, query)

@@ -1,0 +1,16 @@
+"""Partitioning algorithms of the SAP framework (Section 4 of the paper)."""
+
+from .base import PartitionContext, Partitioner
+from .equal import EqualPartitioner
+from .dynamic import DynamicPartitioner
+from .enhanced import EnhancedDynamicPartitioner
+from .tbui import TBUIState
+
+__all__ = [
+    "PartitionContext",
+    "Partitioner",
+    "EqualPartitioner",
+    "DynamicPartitioner",
+    "EnhancedDynamicPartitioner",
+    "TBUIState",
+]

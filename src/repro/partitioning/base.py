@@ -1,0 +1,84 @@
+"""Partitioner interface and the context object handed to partitioners.
+
+A partitioner receives the arrivals of every slide, accumulates them in its
+own pending buffer, and decides when to seal a partition.  The decision may
+be retroactive — the dynamic partitioner seals the pending buffer *without*
+the unit that has just completed — which is why the partitioner owns the
+buffer and returns the sealed objects themselves.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional, Sequence
+
+from ..core.object import StreamObject
+from ..core.partition import PartitionSpec
+from ..core.query import TopKQuery
+
+
+class PartitionContext:
+    """Read-only view of the framework state partitioners may consult.
+
+    The dynamic partitioner needs the top scores of the current candidate
+    set (the reference interval ``I_ηk`` of Equation 2); the framework
+    provides them through a callback so the partitioner never touches the
+    candidate structures directly.
+    """
+
+    def __init__(self, top_candidate_scores: Callable[[int], List[float]]) -> None:
+        self._top_candidate_scores = top_candidate_scores
+
+    def top_candidate_scores(self, count: int) -> List[float]:
+        """Scores of the best ``count`` candidates currently maintained."""
+        return self._top_candidate_scores(count)
+
+
+class Partitioner(ABC):
+    """Base class of the equal, dynamic, and enhanced dynamic partitioners."""
+
+    name: str = "partitioner"
+
+    def __init__(self) -> None:
+        self.query: Optional[TopKQuery] = None
+        self.context: Optional[PartitionContext] = None
+
+    # ------------------------------------------------------------------
+    def bind(self, query: TopKQuery, context: PartitionContext) -> None:
+        """Attach the partitioner to a query; called once by the framework."""
+        self.query = query
+        self.context = context
+        self._configure()
+
+    def _configure(self) -> None:
+        """Hook for subclasses to derive per-query constants."""
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def observe(self, batch: Sequence[StreamObject]) -> List[PartitionSpec]:
+        """Feed one slide of arrivals; return the partitions sealed by it."""
+
+    @abstractmethod
+    def pending_objects(self) -> List[StreamObject]:
+        """Objects accumulated but not yet sealed (oldest first)."""
+
+    def pending_count(self) -> int:
+        return len(self.pending_objects())
+
+    def force_seal(self) -> Optional[PartitionSpec]:
+        """Seal everything pending immediately.
+
+        Used by the framework as a safety valve when expirations would
+        otherwise reach into the unsealed buffer (only possible for extreme
+        parameter choices such as a single partition per window).
+        """
+        pending = self.pending_objects()
+        if not pending:
+            return None
+        spec = PartitionSpec(objects=list(pending))
+        self._drop_pending()
+        return spec
+
+    @abstractmethod
+    def _drop_pending(self) -> None:
+        """Clear the pending buffer after a forced seal."""

@@ -1,0 +1,72 @@
+"""Equal partitioning (Section 4.1 of the paper).
+
+Every partition contains the same number of objects.  The size is derived
+from the partition resolution ``m``: the window is conceptually split into
+``m`` sub-windows, so each partition holds ``⌈n / m⌉`` objects, rounded up
+to a whole number of slides and never smaller than ``max(s, k)``.  The cost
+model of Section 4.1 shows that ``m* = ⌈√(n / max(s, k))⌉`` minimises the
+upper bound of ``|C ∪ M_0|``; that value is the default.
+
+When ``n / m ≤ s`` every partition degenerates to a single slide and SAP
+behaves exactly like MinTopK — the paper points this out to position
+MinTopK as a special case of the framework.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from ..core.exceptions import InvalidPartitionError
+from ..core.object import StreamObject
+from ..core.partition import PartitionSpec
+from .base import Partitioner
+
+
+class EqualPartitioner(Partitioner):
+    """Fixed-size partitioning with a configurable resolution ``m``."""
+
+    name = "equal"
+
+    def __init__(self, m: int = 0) -> None:
+        """``m`` is the partition resolution; 0 (default) selects ``m*``."""
+        super().__init__()
+        if m < 0:
+            raise InvalidPartitionError(f"partition resolution m must be >= 0, got {m}")
+        self._requested_m = m
+        self._partition_size = 0
+        self._pending: List[StreamObject] = []
+
+    # ------------------------------------------------------------------
+    def _configure(self) -> None:
+        assert self.query is not None
+        query = self.query
+        m = self._requested_m if self._requested_m > 0 else query.m_star
+        raw = int(math.ceil(query.n / m))
+        size = max(raw, query.s, query.k)
+        # Partitions must hold a whole number of slides so that the s
+        # objects arriving together stay in the same partition.
+        if size % query.s:
+            size = (size // query.s + 1) * query.s
+        self._partition_size = min(size, max(query.n, query.s, query.k))
+        self.name = f"equal(m={m})"
+
+    @property
+    def partition_size(self) -> int:
+        return self._partition_size
+
+    # ------------------------------------------------------------------
+    def observe(self, batch: Sequence[StreamObject]) -> List[PartitionSpec]:
+        self._pending.extend(batch)
+        specs: List[PartitionSpec] = []
+        while len(self._pending) >= self._partition_size:
+            sealed = self._pending[: self._partition_size]
+            del self._pending[: self._partition_size]
+            specs.append(PartitionSpec(objects=sealed))
+        return specs
+
+    def pending_objects(self) -> List[StreamObject]:
+        return list(self._pending)
+
+    def _drop_pending(self) -> None:
+        self._pending = []

@@ -1,0 +1,16 @@
+"""Execution engine, metrics collection, and algorithm comparison."""
+
+from .engine import RunReport, run_algorithm
+from .metrics import MetricsCollector, bytes_to_kb
+from .comparison import AlgorithmComparison, compare_algorithms
+from .multiquery import MultiQueryEngine
+
+__all__ = [
+    "RunReport",
+    "run_algorithm",
+    "MetricsCollector",
+    "bytes_to_kb",
+    "AlgorithmComparison",
+    "compare_algorithms",
+    "MultiQueryEngine",
+]

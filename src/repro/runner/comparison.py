@@ -1,0 +1,66 @@
+"""Run several algorithms over the same stream and compare their answers.
+
+The integration tests and the benchmark harness both need the same two
+things: run every algorithm on an identical stream, and check that the
+answers agree window by window (they must — all algorithms are exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.interface import ContinuousTopKAlgorithm
+from ..core.object import StreamObject
+from ..core.query import TopKQuery
+from ..core.result import results_agree
+from .engine import RunReport, run_algorithm
+
+AlgorithmFactory = Callable[[TopKQuery], ContinuousTopKAlgorithm]
+
+
+@dataclass
+class AlgorithmComparison:
+    """Reports of every algorithm plus the pairwise agreement verdict."""
+
+    reports: Dict[str, RunReport]
+    agree: bool
+    disagreement: Optional[str] = None
+
+    def report(self, name: str) -> RunReport:
+        return self.reports[name]
+
+    def names(self) -> List[str]:
+        return list(self.reports)
+
+
+def compare_algorithms(
+    factories: Sequence[AlgorithmFactory],
+    objects: Sequence[StreamObject],
+    query: TopKQuery,
+    keep_results: bool = True,
+) -> AlgorithmComparison:
+    """Run every factory's algorithm over ``objects`` under ``query``.
+
+    Agreement is checked against the first algorithm in the sequence, which
+    by convention is the reference (usually the brute-force oracle).
+    """
+    objects = list(objects)
+    reports: Dict[str, RunReport] = {}
+    for factory in factories:
+        algorithm = factory(query)
+        report = run_algorithm(algorithm, objects, keep_results=keep_results)
+        reports[algorithm.name] = report
+
+    agree = True
+    disagreement: Optional[str] = None
+    if keep_results and len(reports) > 1:
+        names = list(reports)
+        reference = reports[names[0]]
+        for name in names[1:]:
+            if not results_agree(reference.results, reports[name].results):
+                agree = False
+                disagreement = f"{name} disagrees with {names[0]}"
+                break
+
+    return AlgorithmComparison(reports=reports, agree=agree, disagreement=disagreement)

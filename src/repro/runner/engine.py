@@ -1,0 +1,86 @@
+"""Drive a continuous top-k algorithm over a stream and collect metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..core.interface import ContinuousTopKAlgorithm
+from ..core.object import StreamObject
+from ..core.query import TopKQuery
+from ..core.result import TopKResult
+from ..core.window import slides_for_query
+from .metrics import MetricsCollector
+
+
+@dataclass
+class RunReport:
+    """Outcome of one algorithm run over one stream."""
+
+    algorithm: str
+    query: TopKQuery
+    elapsed_seconds: float
+    metrics: MetricsCollector
+    results: List[TopKResult] = field(default_factory=list)
+
+    @property
+    def slides(self) -> int:
+        return self.metrics.slides
+
+    @property
+    def average_candidates(self) -> float:
+        return self.metrics.average_candidates
+
+    @property
+    def average_memory_kb(self) -> float:
+        return self.metrics.average_memory_kb
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}: {self.slides} slides in {self.elapsed_seconds:.3f}s, "
+            f"avg candidates {self.average_candidates:.1f}, "
+            f"avg memory {self.average_memory_kb:.1f} KB"
+        )
+
+
+def run_algorithm(
+    algorithm: ContinuousTopKAlgorithm,
+    objects: Iterable[StreamObject],
+    keep_results: bool = True,
+    collect_metrics: bool = True,
+) -> RunReport:
+    """Push a stream through an algorithm, timing it slide by slide.
+
+    ``keep_results=False`` avoids retaining every window answer; the
+    benchmarks use it on long streams where only the metrics matter.
+    """
+    query = algorithm.query
+    metrics = MetricsCollector()
+    results: List[TopKResult] = []
+
+    events = list(slides_for_query(objects, query))
+    started = time.perf_counter()
+    for event in events:
+        slide_started = time.perf_counter()
+        result = algorithm.process_slide(event)
+        latency = time.perf_counter() - slide_started
+        if keep_results:
+            results.append(result)
+        if collect_metrics:
+            metrics.record(
+                algorithm.candidate_count(), algorithm.memory_bytes(), latency
+            )
+    elapsed = time.perf_counter() - started
+
+    if not collect_metrics:
+        # Still record the slide count so report consumers can rely on it.
+        metrics.slides = len(events)
+
+    return RunReport(
+        algorithm=algorithm.name,
+        query=query,
+        elapsed_seconds=elapsed,
+        metrics=metrics,
+        results=results,
+    )

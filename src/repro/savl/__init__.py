@@ -1,0 +1,15 @@
+"""S-AVL structures maintaining the meaningful object set ``M_i``."""
+
+from .amortized import AmortizedSAVLBuilder
+from .meaningful import EmptyMeaningfulSet, MeaningfulSet, SortedMeaningfulSet
+from .savl import SAVL
+from .segmented import SegmentedSAVL
+
+__all__ = [
+    "AmortizedSAVLBuilder",
+    "EmptyMeaningfulSet",
+    "MeaningfulSet",
+    "SortedMeaningfulSet",
+    "SAVL",
+    "SegmentedSAVL",
+]

@@ -1,0 +1,79 @@
+"""Amortized proactive formation of the S-AVL (Section 5.1 of the paper).
+
+Instead of scanning the whole front partition when it reaches the front of
+the window, SAP can spread the scan of the *next* partition ``P_1`` over the
+period during which ``P_0`` expires: "every time when s objects of P_0 slide
+out of the window, we check s objects in P_1".  By the time ``P_1`` becomes
+the front, its S-AVL is ready and promotion can start immediately.
+
+The builder below owns a partially-built :class:`~repro.savl.savl.SAVL` and
+a cursor over the partition's objects in reverse arrival order.  The
+framework calls :meth:`step` once per slide with the number of objects that
+just expired, and :meth:`finish` when the partition actually becomes the
+front (completing any remainder in one go — e.g. when ``P_1`` is larger
+than ``P_0`` was).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from ..core.object import StreamObject
+from ..core.partition import Partition
+from .savl import SAVL
+
+RankKey = Tuple[float, int]
+
+
+class AmortizedSAVLBuilder:
+    """Incremental construction of a partition's S-AVL."""
+
+    def __init__(
+        self,
+        partition: Partition,
+        num_stacks: int,
+        global_threshold: Optional[RankKey] = None,
+        exclude_keys: Optional[Set[RankKey]] = None,
+    ) -> None:
+        if num_stacks <= 0:
+            raise ValueError("the builder needs at least one stack")
+        self.partition = partition
+        self._exclude = set(exclude_keys or set())
+        self._savl = SAVL(num_stacks=num_stacks, global_threshold=global_threshold)
+        # Objects are consumed in reverse arrival order, as required by the
+        # S-AVL stack invariants.
+        self._pending = sorted(partition.objects, key=lambda o: o.t, reverse=True)
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._cursor >= len(self._pending)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._pending) - self._cursor
+
+    @property
+    def scanned(self) -> int:
+        return self._cursor
+
+    # ------------------------------------------------------------------
+    def step(self, count: int) -> int:
+        """Scan up to ``count`` more objects; return how many were scanned."""
+        if count <= 0 or self.done:
+            return 0
+        end = min(self._cursor + count, len(self._pending))
+        for index in range(self._cursor, end):
+            obj = self._pending[index]
+            if obj.rank_key in self._exclude:
+                continue
+            self._savl.push(obj)
+        scanned = end - self._cursor
+        self._cursor = end
+        return scanned
+
+    def finish(self) -> SAVL:
+        """Complete the construction and return the finished S-AVL."""
+        self.step(self.remaining)
+        return self._savl

@@ -1,0 +1,86 @@
+"""Abstractions over the meaningful object set ``M_0``.
+
+The SAP framework only ever interacts with ``M_0`` through three
+operations: pop the best live object (to promote it into the candidate set
+when a front candidate expires), drop expired entries, and report the
+current size (for the candidate-count metric).  This module defines that
+protocol and provides the simplest implementation — a sorted list produced
+by a plain re-scan of the partition — which is what SAP uses when the S-AVL
+structure is disabled (the "Algorithm 1 without S-AVL" rows of Table 2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.object import StreamObject
+
+RankKey = Tuple[float, int]
+
+
+class MeaningfulSet(ABC):
+    """Protocol of every ``M_0`` container."""
+
+    @abstractmethod
+    def pop_best(self, watermark_t: int) -> Optional[StreamObject]:
+        """Remove and return the best live object (``t >= watermark_t``).
+
+        Returns ``None`` when no live object remains.
+        """
+
+    @abstractmethod
+    def prune_expired(self, watermark_t: int) -> None:
+        """Drop every entry that has already expired."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of objects currently stored (live upper bound)."""
+
+    def advance(self, expired_prefix: int) -> None:
+        """Notify the container that ``expired_prefix`` objects of its
+        partition have expired.  Segmented containers use this hook to
+        trigger deferred unit scans; others ignore it."""
+
+
+class SortedMeaningfulSet(MeaningfulSet):
+    """``M_0`` as a plain list sorted by rank key (re-scan formation).
+
+    This is the structure SAP falls back to when the S-AVL is disabled: the
+    partition is re-scanned, the qualifying objects are sorted once, and
+    promotions pop from the high end.
+    """
+
+    def __init__(self, objects: Iterable[StreamObject]) -> None:
+        self._objects: List[StreamObject] = sorted(objects, key=lambda o: o.rank_key)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def pop_best(self, watermark_t: int) -> Optional[StreamObject]:
+        while self._objects:
+            best = self._objects[-1]
+            if best.t < watermark_t:
+                self._objects.pop()
+                continue
+            self._objects.pop()
+            return best
+        return None
+
+    def prune_expired(self, watermark_t: int) -> None:
+        if not self._objects:
+            return
+        self._objects = [obj for obj in self._objects if obj.t >= watermark_t]
+
+
+class EmptyMeaningfulSet(MeaningfulSet):
+    """Placeholder used when ``P_0.ρ ≥ k`` and ``M_0`` is provably empty."""
+
+    def __len__(self) -> int:
+        return 0
+
+    def pop_best(self, watermark_t: int) -> Optional[StreamObject]:
+        return None
+
+    def prune_expired(self, watermark_t: int) -> None:
+        return None

@@ -1,0 +1,233 @@
+"""The baseline S-AVL structure (Section 5.1 of the paper).
+
+S-AVL stores the meaningful objects of a partition in ``k − ρ`` stacks whose
+top entries are indexed by an AVL tree:
+
+* objects are scanned in *reverse arrival order*, so every entry of a stack
+  arrived no later than the entries below it — within a stack the top entry
+  has the highest score and the earliest arrival;
+* an object that cannot be pushed on any stack (its score is below every
+  stack top) is dominated by at least ``k − ρ`` later-arriving objects of
+  the same partition, which together with the ``ρ`` global dominators makes
+  ``k`` dominators, so it is pruned;
+* objects whose rank falls below the global threshold ``F_θ`` (the k-th best
+  candidate contributed by later partitions) are pruned outright.
+
+Promotion of the best remaining meaningful object is ``O(log k)``: read the
+AVL maximum, pop it from its stack, and re-insert the stack's new top.
+Because tops arrive earliest within their stack, expired entries always
+surface at stack tops and can be discarded lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.object import StreamObject
+from ..structures.avl import AVLTree
+from .meaningful import MeaningfulSet
+
+RankKey = Tuple[float, int]
+
+
+class SAVL(MeaningfulSet):
+    """Stacks + AVL container for the meaningful objects of one partition."""
+
+    def __init__(self, num_stacks: int, global_threshold: Optional[RankKey] = None) -> None:
+        if num_stacks <= 0:
+            raise ValueError("S-AVL needs at least one stack")
+        self._num_stacks = num_stacks
+        self._global_threshold = global_threshold
+        self._stacks: List[List[StreamObject]] = []
+        # Maps the rank key of each stack's top entry to the stack index.
+        self._tops = AVLTree()
+        self._size = 0
+        self._pruned = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        objects: Iterable[StreamObject],
+        num_stacks: int,
+        global_threshold: Optional[RankKey] = None,
+        exclude_keys: Optional[set] = None,
+    ) -> "SAVL":
+        """Build an S-AVL from a partition's objects.
+
+        ``objects`` may be supplied in any order; they are scanned in
+        reverse arrival order as the paper requires.  ``exclude_keys``
+        (typically the partition's ``P_0^k``) are skipped.
+        """
+        savl = cls(num_stacks=num_stacks, global_threshold=global_threshold)
+        ordered = sorted(objects, key=lambda o: o.t, reverse=True)
+        exclude = exclude_keys or set()
+        for obj in ordered:
+            if obj.rank_key in exclude:
+                continue
+            savl.push(obj)
+        return savl
+
+    @classmethod
+    def build_batched(
+        cls,
+        objects: Iterable[StreamObject],
+        batch_size: int,
+        num_stacks: int,
+        global_threshold: Optional[RankKey] = None,
+        exclude_keys: Optional[set] = None,
+    ) -> "SAVL":
+        """Build an S-AVL exploiting the slide granularity (Appendix C).
+
+        Objects that arrive in the same slide expire in the same slide, so
+        within each batch of ``batch_size`` objects only the ``num_stacks``
+        best can ever become meaningful: the rest are dominated by
+        same-batch objects that stay in the window exactly as long as they
+        do.  The construction therefore selects the top ``num_stacks``
+        objects per batch (after global pruning) and pushes only those, in
+        reverse arrival order.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        savl = cls(num_stacks=num_stacks, global_threshold=global_threshold)
+        exclude = exclude_keys or set()
+        ordered = sorted(objects, key=lambda o: o.t)
+        # Objects with the same arrival-order quotient t // s entered the
+        # window in the same slide and will leave it in the same slide,
+        # regardless of how the partition is aligned.
+        batches: List[List[StreamObject]] = []
+        for obj in ordered:
+            group = obj.t // batch_size
+            if not batches or batches[-1][0].t // batch_size != group:
+                batches.append([])
+            batches[-1].append(obj)
+        for batch in reversed(batches):
+            eligible = [obj for obj in batch if obj.rank_key not in exclude]
+            eligible.sort(key=lambda o: o.rank_key, reverse=True)
+            best = eligible[:num_stacks]
+            for obj in sorted(best, key=lambda o: o.t, reverse=True):
+                savl.push(obj)
+        return savl
+
+    def push(self, obj: StreamObject) -> bool:
+        """Insert one object (scanned in reverse arrival order).
+
+        Returns ``False`` when the object is pruned by the global threshold
+        or by the local stack-top comparison.
+        """
+        if self._global_threshold is not None and obj.rank_key < self._global_threshold:
+            self._pruned += 1
+            return False
+
+        if len(self._stacks) < self._num_stacks:
+            self._stacks.append([obj])
+            self._tops.insert(obj.rank_key, len(self._stacks) - 1)
+            self._size += 1
+            return True
+
+        # Choose, among the stacks whose top ranks below the object, the one
+        # with the largest top — this keeps the relative order of the AVL
+        # entries unchanged (Section 5.1).
+        target = self._best_stack_below(obj.rank_key)
+        if target is None:
+            self._pruned += 1
+            return False
+
+        stack = self._stacks[target]
+        old_top = stack[-1]
+        self._tops.remove(old_top.rank_key)
+        stack.append(obj)
+        self._tops.insert(obj.rank_key, target)
+        self._size += 1
+        return True
+
+    def _best_stack_below(self, key: RankKey) -> Optional[int]:
+        best: Optional[int] = None
+        best_key: Optional[RankKey] = None
+        for top_key, index in self._tops.items_descending():
+            if top_key < key:
+                best, best_key = index, top_key
+                break
+        del best_key
+        return best
+
+    # ------------------------------------------------------------------
+    # MeaningfulSet protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def pop_best(self, watermark_t: int) -> Optional[StreamObject]:
+        while self._tops:
+            key, index = self._tops.max_item()
+            obj = self._discard_top(index)
+            assert obj.rank_key == key
+            if obj.t >= watermark_t:
+                return obj
+        return None
+
+    def peek_best(self, watermark_t: int) -> Optional[RankKey]:
+        """Rank key of the best live entry without removing it.
+
+        Expired entries encountered at stack tops are discarded on the way,
+        which is safe because expired entries can only be stack tops.
+        """
+        while self._tops:
+            key, index = self._tops.max_item()
+            top = self._stacks[index][-1]
+            if top.t >= watermark_t:
+                return key
+            self._discard_top(index)
+        return None
+
+    def prune_expired(self, watermark_t: int) -> None:
+        # Expired entries can only be stack tops (tops arrive earliest in
+        # their stack), so repeatedly discard expired tops.
+        changed = True
+        while changed:
+            changed = False
+            for key, index in list(self._tops.items()):
+                top = self._stacks[index][-1]
+                if top.t < watermark_t:
+                    self._discard_top(index)
+                    changed = True
+
+    def _discard_top(self, stack_index: int) -> StreamObject:
+        stack = self._stacks[stack_index]
+        obj = stack.pop()
+        self._tops.remove(obj.rank_key)
+        self._size -= 1
+        if stack:
+            self._tops.insert(stack[-1].rank_key, stack_index)
+        return obj
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, metrics)
+    # ------------------------------------------------------------------
+    @property
+    def stack_count(self) -> int:
+        return len(self._stacks)
+
+    @property
+    def pruned_count(self) -> int:
+        """Number of objects rejected during construction (statistics)."""
+        return self._pruned
+
+    def contents(self) -> List[StreamObject]:
+        """All stored objects (any order); used by tests."""
+        result: List[StreamObject] = []
+        for stack in self._stacks:
+            result.extend(stack)
+        return result
+
+    def check_invariants(self) -> None:
+        """Validate the stack ordering invariants of Section 5.1."""
+        for stack in self._stacks:
+            for below, above in zip(stack, stack[1:]):
+                assert below.rank_key <= above.rank_key, "stack score order violated"
+                assert below.t >= above.t, "stack arrival order violated"
+        live_tops = {stack[-1].rank_key for stack in self._stacks if stack}
+        assert set(self._tops.keys()) == live_tops, "AVL tops out of sync"
+        assert self._size == sum(len(stack) for stack in self._stacks)

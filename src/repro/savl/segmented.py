@@ -1,0 +1,175 @@
+"""Segmentation-based S-AVL construction — the UBSA algorithm (Section 5.2).
+
+When the enhanced dynamic partitioner produces a partition, it attaches the
+per-unit summaries ``L_i`` built by TBUI.  UBSA exploits them twice:
+
+* **Phase 1** (when the partition becomes the front of the window): only the
+  non-k-units and the top-k summaries of the k-units are scanned.  A
+  non-k-unit whose maximum score falls below the global threshold ``F_θ`` is
+  skipped without touching its objects.
+* **Phase 2** (as expiration approaches a k-unit): the k-unit receives its
+  own S-AVL, built just before its objects start expiring.  When the k-th
+  best summary entry of the unit already falls below the (monotonically
+  non-decreasing) threshold ``F_θ``, the unit's remaining objects are all
+  globally pruned and the scan is skipped entirely.
+
+This keeps ``|M_0|`` bounded by ``O(k·√(n / max(s,k)))`` regardless of the
+partition size (Theorem 4) while preserving exactness: a non-top-k object of
+a deferred k-unit cannot enter the query result before its unit starts
+expiring, because the unit's k live summary objects outrank it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, Tuple
+
+from ..core.object import StreamObject
+from ..core.partition import Partition, UnitSummary
+from .meaningful import MeaningfulSet
+from .savl import SAVL
+
+RankKey = Tuple[float, int]
+ThresholdProvider = Callable[[], Optional[RankKey]]
+
+
+class _DeferredUnit:
+    """Bookkeeping for a k-unit whose full scan is postponed."""
+
+    __slots__ = ("unit", "index", "scanned")
+
+    def __init__(self, unit: UnitSummary, index: int) -> None:
+        self.unit = unit
+        self.index = index
+        self.scanned = False
+
+
+class SegmentedSAVL(MeaningfulSet):
+    """UBSA-built meaningful object set for a partition with unit metadata."""
+
+    def __init__(
+        self,
+        partition: Partition,
+        num_stacks: int,
+        threshold_provider: ThresholdProvider,
+        exclude_keys: Optional[Set[RankKey]] = None,
+    ) -> None:
+        if partition.units is None:
+            raise ValueError("SegmentedSAVL requires a partition with unit metadata")
+        self._partition = partition
+        self._num_stacks = num_stacks
+        self._threshold_provider = threshold_provider
+        self._exclude = set(exclude_keys or set())
+        self._deferred: List[_DeferredUnit] = []
+        self._unit_savls: List[SAVL] = []
+        self._skipped_units = 0
+        self._main = self._build_phase_one()
+
+    # ------------------------------------------------------------------
+    # Phase 1
+    # ------------------------------------------------------------------
+    def _build_phase_one(self) -> SAVL:
+        threshold = self._threshold_provider()
+        main = SAVL(num_stacks=self._num_stacks, global_threshold=threshold)
+        units = self._partition.units or []
+        for unit_index in range(len(units) - 1, -1, -1):
+            unit = units[unit_index]
+            if unit.is_k_unit:
+                contributors = sorted(unit.summary, key=lambda o: o.t, reverse=True)
+                self._deferred.append(_DeferredUnit(unit, unit_index))
+            else:
+                if threshold is not None and unit.max_key <= threshold:
+                    self._skipped_units += 1
+                    continue
+                contributors = list(
+                    reversed(self._partition.objects[unit.start : unit.end])
+                )
+            for obj in contributors:
+                if obj.rank_key in self._exclude:
+                    continue
+                main.push(obj)
+        # Deferred units were collected in reverse order; keep them in
+        # arrival order so the expiry-driven trigger can walk them forward.
+        self._deferred.reverse()
+        return main
+
+    # ------------------------------------------------------------------
+    # Phase 2
+    # ------------------------------------------------------------------
+    def advance(self, expired_prefix: int) -> None:
+        """Trigger deferred unit scans as expiration progresses.
+
+        A k-unit is scanned as soon as the unit immediately before it starts
+        expiring (and immediately for the first two units), which is always
+        before any of its own objects leave the window.
+        """
+        units = self._partition.units or []
+        for deferred in self._deferred:
+            if deferred.scanned:
+                continue
+            index = deferred.index
+            if index <= 1:
+                trigger_at = 0
+            else:
+                trigger_at = units[index - 1].start
+            if expired_prefix >= trigger_at or expired_prefix >= deferred.unit.start:
+                self._scan_unit(deferred)
+
+    def _scan_unit(self, deferred: _DeferredUnit) -> None:
+        deferred.scanned = True
+        unit = deferred.unit
+        threshold = self._threshold_provider()
+        if threshold is not None and unit.min_summary_key < threshold:
+            # Every object of the unit outside its top-k summary ranks below
+            # the threshold, hence below k live candidates of later
+            # partitions: nothing new can become meaningful.
+            self._skipped_units += 1
+            return
+        summary_keys = {obj.rank_key for obj in unit.summary}
+        unit_savl = SAVL(num_stacks=self._num_stacks, global_threshold=threshold)
+        for obj in reversed(self._partition.objects[unit.start : unit.end]):
+            if obj.rank_key in summary_keys or obj.rank_key in self._exclude:
+                continue
+            unit_savl.push(obj)
+        if len(unit_savl):
+            self._unit_savls.append(unit_savl)
+
+    # ------------------------------------------------------------------
+    # MeaningfulSet protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._main) + sum(len(savl) for savl in self._unit_savls)
+
+    def pop_best(self, watermark_t: int) -> Optional[StreamObject]:
+        best_container: Optional[SAVL] = None
+        best_key: Optional[RankKey] = None
+        for container in [self._main, *self._unit_savls]:
+            key = container.peek_best(watermark_t)
+            if key is None:
+                continue
+            if best_key is None or key > best_key:
+                best_key = key
+                best_container = container
+        if best_container is None:
+            return None
+        return best_container.pop_best(watermark_t)
+
+    def prune_expired(self, watermark_t: int) -> None:
+        self._main.prune_expired(watermark_t)
+        for savl in self._unit_savls:
+            savl.prune_expired(watermark_t)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def skipped_units(self) -> int:
+        """Units whose detailed scan was avoided thanks to ``L_i``."""
+        return self._skipped_units
+
+    @property
+    def deferred_unit_count(self) -> int:
+        return len(self._deferred)
+
+    @property
+    def scanned_unit_count(self) -> int:
+        return sum(1 for deferred in self._deferred if deferred.scanned)

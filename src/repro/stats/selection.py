@@ -1,0 +1,95 @@
+"""Selection algorithms (quickselect / median search).
+
+The TBUI algorithm of the paper (Algorithm 2) repeatedly finds the median of
+a buffer of ``2ζ*`` scores using a linear-time median-search algorithm
+(reference [5] of the paper, CLRS).  This module provides a deterministic,
+dependency-free implementation used by TBUI, the S-AVL optimisation of
+Appendix C, and the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _median_of_three(values: List[float], lo: int, hi: int) -> float:
+    mid = (lo + hi) // 2
+    a, b, c = values[lo], values[mid], values[hi]
+    if a > b:
+        a, b = b, a
+    if b > c:
+        b = c
+    return max(a, b)
+
+
+def select(values: Sequence[float], rank: int) -> float:
+    """Return the element of ``values`` with the given ascending ``rank``.
+
+    ``rank`` is zero-based: ``select(v, 0)`` is the minimum and
+    ``select(v, len(v) - 1)`` is the maximum.  The input sequence is not
+    modified.  Average complexity is linear (quickselect with a
+    median-of-three pivot); the worst case is quadratic but never triggered
+    by the adversarial-free buffers the library feeds it.
+    """
+    if not values:
+        raise ValueError("cannot select from an empty sequence")
+    if rank < 0 or rank >= len(values):
+        raise ValueError(f"rank {rank} out of range for {len(values)} values")
+
+    work = list(values)
+    lo, hi = 0, len(work) - 1
+    while True:
+        if lo == hi:
+            return work[lo]
+        pivot = _median_of_three(work, lo, hi)
+        left, right = lo, hi
+        while left <= right:
+            while work[left] < pivot:
+                left += 1
+            while work[right] > pivot:
+                right -= 1
+            if left <= right:
+                work[left], work[right] = work[right], work[left]
+                left += 1
+                right -= 1
+        if rank <= right:
+            hi = right
+        elif rank >= left:
+            lo = left
+        else:
+            return work[rank]
+
+
+def kth_largest(values: Sequence[float], k: int) -> float:
+    """The k-th largest element (1-based); ``k=1`` is the maximum."""
+    if k <= 0 or k > len(values):
+        raise ValueError(f"k={k} out of range for {len(values)} values")
+    return select(values, len(values) - k)
+
+
+def median(values: Sequence[float]) -> float:
+    """Lower median of the sequence (the ⌈len/2⌉-th smallest element).
+
+    TBUI uses the median of an even-sized buffer of ``2ζ*`` scores as the new
+    threshold ``τ``; the lower median matches the paper's intent of keeping
+    the ``ζ*`` largest scores above the threshold.
+    """
+    if not values:
+        raise ValueError("cannot take the median of an empty sequence")
+    return select(values, (len(values) - 1) // 2)
+
+
+def top_values(
+    values: Sequence[T], count: int, key: Optional[Callable[[T], float]] = None
+) -> List[T]:
+    """The ``count`` largest items of ``values`` (best first).
+
+    A convenience helper used where the paper keeps "the min(x, |B|) objects
+    with highest scores" from a buffer.
+    """
+    if count <= 0:
+        return []
+    keyed = sorted(values, key=key, reverse=True) if key else sorted(values, reverse=True)
+    return list(keyed[:count])

@@ -1,0 +1,43 @@
+"""Stream sources: synthetic equivalents of the paper's datasets.
+
+The paper evaluates on three real datasets (STOCK, TRIP, PLANET) and two
+synthetic ones (TIMER, TIMEU).  The real datasets are not redistributable,
+so this package provides synthetic generators that reproduce the relevant
+property for every algorithm under study: the joint distribution of
+*scores* and *arrival order*.  See DESIGN.md for the substitution notes.
+"""
+
+from .source import ListSource, StreamSource, materialise
+from .io import CSVStream
+from .preference import (
+    stock_preference,
+    trip_preference,
+    planet_preference,
+)
+from .synthetic import TimeCorrelatedStream, UncorrelatedStream, RandomWalkStream
+from .stock import StockStream, StockTransaction
+from .trip import TripStream, TaxiTrip
+from .planet import PlanetStream, Observation
+from .registry import DATASETS, make_dataset, dataset_names
+
+__all__ = [
+    "StreamSource",
+    "ListSource",
+    "CSVStream",
+    "materialise",
+    "stock_preference",
+    "trip_preference",
+    "planet_preference",
+    "TimeCorrelatedStream",
+    "UncorrelatedStream",
+    "RandomWalkStream",
+    "StockStream",
+    "StockTransaction",
+    "TripStream",
+    "TaxiTrip",
+    "PlanetStream",
+    "Observation",
+    "DATASETS",
+    "make_dataset",
+    "dataset_names",
+]

@@ -1,0 +1,34 @@
+"""Preference functions for the paper's application scenarios.
+
+Each function maps a raw application record to the numeric score used by the
+continuous top-k query, mirroring Section 6.1 of the paper:
+
+* STOCK — ``F = price × volume`` (transaction significance);
+* TRIP — ``F = distance / (drop-off − pick-up)`` (average trip speed);
+* PLANET — ``F = dist(record, query point)`` (observation distance).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+def stock_preference(transaction) -> float:
+    """Significance of a stock transaction: traded value = price × volume."""
+    return float(transaction.price) * float(transaction.volume)
+
+
+def trip_preference(trip) -> float:
+    """Average speed of a taxi trip: distance over duration."""
+    duration = float(trip.dropoff_time) - float(trip.pickup_time)
+    if duration <= 0:
+        raise ValueError("trip duration must be positive")
+    return float(trip.distance) / duration
+
+
+def planet_preference(observation, query_point: Tuple[float, float] = (0.0, 0.0)) -> float:
+    """Distance between an observation coordinate and the query point."""
+    dx = float(observation.x) - query_point[0]
+    dy = float(observation.y) - query_point[1]
+    return math.hypot(dx, dy)

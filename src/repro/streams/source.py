@@ -1,0 +1,76 @@
+"""Stream source abstractions.
+
+A stream source produces :class:`~repro.core.object.StreamObject` instances
+with strictly increasing arrival orders.  Sources are deliberately simple
+(iterables with a length hint) so that any Python iterable of scores or
+records can be turned into a stream.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
+
+from ..core.object import StreamObject
+
+
+class StreamSource(ABC):
+    """Base class of every stream generator in the library."""
+
+    #: Human readable name used by the benchmark harness.
+    name: str = "stream"
+
+    @abstractmethod
+    def objects(self, count: int) -> Iterator[StreamObject]:
+        """Yield ``count`` stream objects with arrival orders ``0..count-1``."""
+
+    def take(self, count: int) -> List[StreamObject]:
+        """Materialise ``count`` objects into a list."""
+        return list(self.objects(count))
+
+
+class ListSource(StreamSource):
+    """Wrap an in-memory sequence of scores or records as a stream.
+
+    Parameters
+    ----------
+    values:
+        The raw values.  When ``preference`` is omitted the values must be
+        numeric and are used as the scores directly.
+    preference:
+        Optional preference function applied to each value.
+    name:
+        Optional display name.
+    """
+
+    def __init__(
+        self,
+        values: Sequence[Any],
+        preference: Optional[Callable[[Any], float]] = None,
+        name: str = "list",
+    ) -> None:
+        self._values = list(values)
+        self._preference = preference
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def objects(self, count: Optional[int] = None) -> Iterator[StreamObject]:
+        limit = len(self._values) if count is None else min(count, len(self._values))
+        for t in range(limit):
+            value = self._values[t]
+            score = self._preference(value) if self._preference else float(value)
+            yield StreamObject(score=score, t=t, payload=value)
+
+
+def materialise(scores: Iterable[float], start_t: int = 0) -> List[StreamObject]:
+    """Convert a plain iterable of scores into stream objects.
+
+    Convenience helper used pervasively by the tests: arrival orders are
+    assigned sequentially starting from ``start_t``.
+    """
+    return [
+        StreamObject(score=float(score), t=start_t + offset)
+        for offset, score in enumerate(scores)
+    ]

@@ -1,0 +1,105 @@
+"""Synthetic streams: TIMER, TIMEU and a generic random walk.
+
+The paper's two synthetic datasets are
+
+* **TIMER** ("time-related"): scores are a deterministic function of the
+  arrival order, ``F(o) = sin(π · o.t / period)``, so the stream alternates
+  between long stretches of monotonically increasing and monotonically
+  decreasing scores — the adversarial case for k-skyband style candidate
+  maintenance.
+* **TIMEU** ("time-unrelated"): scores are independent of arrival order.
+
+The random-walk stream is an extra generator useful for examples and for
+stress-testing the dynamic partitioner on locally-trending data.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator
+
+from ..core.object import StreamObject
+from .source import StreamSource
+
+
+class TimeCorrelatedStream(StreamSource):
+    """The paper's TIMER dataset: ``F(o) = sin(π · t / period)``.
+
+    Parameters
+    ----------
+    period:
+        Half-period of the sine wave in number of objects.  The paper uses
+        ``10^6``; benchmarks scale it down proportionally to the stream
+        length so that every run sees several full oscillations.
+    noise:
+        Optional additive uniform noise amplitude; a tiny default keeps
+        scores unique without changing the shape of the stream.
+    seed:
+        Seed of the noise generator.
+    """
+
+    name = "TIMER"
+
+    def __init__(self, period: int = 1_000_000, noise: float = 1e-9, seed: int = 7) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = period
+        self.noise = noise
+        self.seed = seed
+
+    def objects(self, count: int) -> Iterator[StreamObject]:
+        rng = random.Random(self.seed)
+        for t in range(count):
+            score = math.sin(math.pi * t / self.period)
+            if self.noise:
+                score += rng.uniform(-self.noise, self.noise)
+            yield StreamObject(score=score, t=t)
+
+
+class UncorrelatedStream(StreamSource):
+    """The paper's TIMEU dataset: scores independent of arrival order."""
+
+    name = "TIMEU"
+
+    def __init__(self, low: float = 0.0, high: float = 1.0, seed: int = 11) -> None:
+        if high <= low:
+            raise ValueError("high must exceed low")
+        self.low = low
+        self.high = high
+        self.seed = seed
+
+    def objects(self, count: int) -> Iterator[StreamObject]:
+        rng = random.Random(self.seed)
+        for t in range(count):
+            yield StreamObject(score=rng.uniform(self.low, self.high), t=t)
+
+
+class RandomWalkStream(StreamSource):
+    """Scores following a bounded random walk (locally trending data)."""
+
+    name = "RANDOM-WALK"
+
+    def __init__(
+        self,
+        start: float = 100.0,
+        step: float = 1.0,
+        low: float = 0.0,
+        high: float = 200.0,
+        seed: int = 13,
+    ) -> None:
+        if high <= low:
+            raise ValueError("high must exceed low")
+        self.start = start
+        self.step = step
+        self.low = low
+        self.high = high
+        self.seed = seed
+
+    def objects(self, count: int) -> Iterator[StreamObject]:
+        rng = random.Random(self.seed)
+        value = self.start
+        for t in range(count):
+            value += rng.uniform(-self.step, self.step)
+            value = min(self.high, max(self.low, value))
+            yield StreamObject(score=value, t=t)

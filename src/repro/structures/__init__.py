@@ -1,0 +1,5 @@
+"""Ordered data-structure substrates used by the SAP framework and baselines."""
+
+from .avl import AVLTree
+
+__all__ = ["AVLTree"]

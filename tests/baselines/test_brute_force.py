@@ -1,0 +1,54 @@
+"""Unit tests for the brute-force oracle."""
+
+from repro.baselines.brute_force import BruteForceTopK
+from repro.core.object import top_k
+from repro.core.query import TopKQuery
+from repro.core.window import slides_for_query
+
+from ..conftest import make_objects, random_scores
+
+
+class TestBruteForce:
+    def test_first_window_topk(self):
+        query = TopKQuery(n=5, k=2, s=1)
+        objects = make_objects([3, 9, 1, 7, 5, 2])
+        algorithm = BruteForceTopK(query)
+        events = list(slides_for_query(objects, query))
+        first = algorithm.process_slide(events[0])
+        assert first.scores == [9.0, 7.0]
+
+    def test_results_track_the_window(self):
+        query = TopKQuery(n=4, k=1, s=2)
+        objects = make_objects([10, 1, 2, 3, 4, 20, 5, 6])
+        algorithm = BruteForceTopK(query)
+        results = [algorithm.process_slide(e) for e in slides_for_query(objects, query)]
+        assert results[0].scores == [10.0]
+        # After two slides the window is [4, 20, 5, 6].
+        assert results[-1].scores == [20.0]
+
+    def test_matches_direct_topk_on_random_stream(self):
+        query = TopKQuery(n=60, k=4, s=6)
+        objects = make_objects(random_scores(300, seed=2))
+        algorithm = BruteForceTopK(query)
+        window = []
+        for event in slides_for_query(objects, query):
+            expired = {o.t for o in event.expirations}
+            window = [o for o in window if o.t not in expired] + list(event.arrivals)
+            result = algorithm.process_slide(event)
+            assert list(result.objects) == top_k(window, query.k)
+
+    def test_candidate_count_is_window_size(self):
+        query = TopKQuery(n=50, k=3, s=10)
+        objects = make_objects(random_scores(200, seed=3))
+        algorithm = BruteForceTopK(query)
+        for event in slides_for_query(objects, query):
+            algorithm.process_slide(event)
+            assert algorithm.candidate_count() == query.n
+
+    def test_memory_scales_with_window(self):
+        small = BruteForceTopK(TopKQuery(n=10, k=2, s=1))
+        large = BruteForceTopK(TopKQuery(n=100, k=2, s=1))
+        stream = make_objects(random_scores(200, seed=4))
+        small.run(stream)
+        large.run(stream)
+        assert large.memory_bytes() > small.memory_bytes()

@@ -1,0 +1,84 @@
+"""Unit tests for the one-pass k-skyband baseline."""
+
+from repro.baselines.brute_force import BruteForceTopK
+from repro.baselines.kskyband import KSkybandTopK
+from repro.core.query import TopKQuery
+from repro.core.result import results_agree
+from repro.core.window import slides_for_query
+from repro.stats.dominance import k_skyband
+
+from ..conftest import make_objects, random_scores
+
+
+def _run(algorithm, objects):
+    return [algorithm.process_slide(e) for e in slides_for_query(objects, algorithm.query)]
+
+
+class TestExactness:
+    def test_matches_brute_force_uniform(self):
+        query = TopKQuery(n=100, k=5, s=10)
+        objects = make_objects(random_scores(600, seed=1))
+        assert results_agree(_run(KSkybandTopK(query), objects), _run(BruteForceTopK(query), objects))
+
+    def test_matches_brute_force_decreasing(self, decreasing_stream):
+        query = TopKQuery(n=100, k=5, s=10)
+        assert results_agree(
+            _run(KSkybandTopK(query), decreasing_stream),
+            _run(BruteForceTopK(query), decreasing_stream),
+        )
+
+    def test_matches_brute_force_slide_one(self):
+        query = TopKQuery(n=50, k=3, s=1)
+        objects = make_objects(random_scores(200, seed=2))
+        assert results_agree(_run(KSkybandTopK(query), objects), _run(BruteForceTopK(query), objects))
+
+
+class TestCandidateSet:
+    def test_candidate_set_is_exactly_the_window_skyband(self):
+        query = TopKQuery(n=80, k=4, s=8)
+        objects = make_objects(random_scores(400, seed=3))
+        algorithm = KSkybandTopK(query)
+        window = []
+        for event in slides_for_query(objects, query):
+            expired = {o.t for o in event.expirations}
+            window = [o for o in window if o.t not in expired] + list(event.arrivals)
+            algorithm.process_slide(event)
+            expected = {o.rank_key for o in k_skyband(window, query.k)}
+            maintained = {
+                entry.obj.rank_key for _, entry in algorithm._candidates.items()
+            }
+            assert maintained == expected
+
+    def test_decreasing_stream_keeps_whole_window(self, decreasing_stream):
+        """Anti-correlated scores are the worst case: every window object is
+        a k-skyband object (Figure 1(a) of the paper)."""
+        query = TopKQuery(n=100, k=5, s=10)
+        algorithm = KSkybandTopK(query)
+        for event in slides_for_query(decreasing_stream, query):
+            algorithm.process_slide(event)
+        assert algorithm.candidate_count() == query.n
+
+    def test_increasing_stream_keeps_few_candidates(self, increasing_stream):
+        """Correlated scores are the best case: only the newest k objects
+        survive the dominance pruning."""
+        query = TopKQuery(n=100, k=5, s=10)
+        algorithm = KSkybandTopK(query)
+        for event in slides_for_query(increasing_stream, query):
+            algorithm.process_slide(event)
+        assert algorithm.candidate_count() <= 2 * query.k
+
+    def test_candidate_count_larger_than_sap(self):
+        from repro.core.framework import SAPTopK
+
+        query = TopKQuery(n=200, k=5, s=10)
+        objects = make_objects(random_scores(1000, seed=4))
+        skyband = KSkybandTopK(query)
+        sap = SAPTopK(query)
+        skyband_avg, sap_avg, slides = 0.0, 0.0, 0
+        for event in slides_for_query(objects, query):
+            skyband.process_slide(event)
+            sap.process_slide(event)
+            skyband_avg += skyband.candidate_count()
+            sap_avg += sap.candidate_count()
+            slides += 1
+        assert skyband_avg / slides > sap_avg / slides

@@ -1,0 +1,123 @@
+"""Unit tests for the SMA multi-pass baseline and its grid index."""
+
+import pytest
+
+from repro.baselines.brute_force import BruteForceTopK
+from repro.baselines.grid import ScoreGrid
+from repro.baselines.sma import SMATopK
+from repro.core.object import StreamObject
+from repro.core.query import TopKQuery
+from repro.core.result import results_agree
+from repro.core.window import slides_for_query
+
+from ..conftest import make_objects, random_scores
+
+
+def _run(algorithm, objects):
+    return [algorithm.process_slide(e) for e in slides_for_query(objects, algorithm.query)]
+
+
+class TestScoreGrid:
+    def test_insert_remove(self):
+        grid = ScoreGrid(cell_width=1.0)
+        obj = StreamObject(score=5.5, t=0)
+        grid.insert(obj)
+        assert len(grid) == 1
+        assert grid.remove(obj)
+        assert not grid.remove(obj)
+        assert len(grid) == 0
+
+    def test_calibrate_sets_cell_width_once(self):
+        grid = ScoreGrid()
+        grid.calibrate([0.0, 100.0], cells=10)
+        first_width = grid._cell_width
+        grid.calibrate([0.0, 1.0], cells=10)
+        assert grid._cell_width == first_width
+
+    def test_calibrate_handles_constant_scores(self):
+        grid = ScoreGrid()
+        grid.calibrate([5.0, 5.0, 5.0])
+        grid.insert(StreamObject(score=5.0, t=0))
+        assert len(grid) == 1
+
+    def test_collect_top_returns_highest_scores(self):
+        grid = ScoreGrid(cell_width=1.0)
+        for obj in make_objects([5, 50, 20, 40, 10]):
+            grid.insert(obj)
+        top = grid.collect_top(2)[:2]
+        assert [o.score for o in top] == [50.0, 40.0]
+
+    def test_collect_top_with_negative_scores(self):
+        grid = ScoreGrid(cell_width=0.5)
+        for obj in make_objects([-5, -1, -3]):
+            grid.insert(obj)
+        top = grid.collect_top(1)[:1]
+        assert top[0].score == -1.0
+
+    def test_scan_from_top_orders_cells(self):
+        grid = ScoreGrid(cell_width=1.0)
+        for obj in make_objects([1, 9, 5]):
+            grid.insert(obj)
+        cells = list(grid.scan_from_top())
+        assert cells[0][0].score == 9.0
+
+
+class TestSMAExactness:
+    def test_matches_brute_force_uniform(self):
+        query = TopKQuery(n=100, k=5, s=10)
+        objects = make_objects(random_scores(600, seed=1))
+        assert results_agree(_run(SMATopK(query), objects), _run(BruteForceTopK(query), objects))
+
+    def test_matches_brute_force_decreasing(self, decreasing_stream):
+        query = TopKQuery(n=100, k=5, s=10)
+        assert results_agree(
+            _run(SMATopK(query), decreasing_stream),
+            _run(BruteForceTopK(query), decreasing_stream),
+        )
+
+    def test_matches_brute_force_increasing(self, increasing_stream):
+        query = TopKQuery(n=100, k=5, s=10)
+        assert results_agree(
+            _run(SMATopK(query), increasing_stream),
+            _run(BruteForceTopK(query), increasing_stream),
+        )
+
+    def test_matches_brute_force_large_slide(self):
+        query = TopKQuery(n=80, k=8, s=80)
+        objects = make_objects(random_scores(600, seed=2))
+        assert results_agree(_run(SMATopK(query), objects), _run(BruteForceTopK(query), objects))
+
+    def test_invalid_kmax_factor(self):
+        with pytest.raises(ValueError):
+            SMATopK(TopKQuery(n=10, k=2, s=1), kmax_factor=0)
+
+
+class TestSMABehaviour:
+    def test_rescans_frequent_on_decreasing_stream(self, decreasing_stream):
+        """Downtrending scores force SMA to re-scan constantly (Figure 1(a))."""
+        query = TopKQuery(n=100, k=5, s=10)
+        decreasing = SMATopK(query)
+        _run(decreasing, decreasing_stream)
+
+        increasing = SMATopK(query)
+        _run(increasing, make_objects([float(i) for i in range(600)]))
+
+        assert decreasing.rescan_count > increasing.rescan_count
+
+    def test_candidate_set_bounded_by_kmax(self):
+        query = TopKQuery(n=100, k=5, s=10)
+        objects = make_objects(random_scores(600, seed=3))
+        algorithm = SMATopK(query)
+        for event in slides_for_query(objects, query):
+            algorithm.process_slide(event)
+            assert algorithm.candidate_count() <= 2 * query.k
+
+    def test_memory_includes_grid(self):
+        query = TopKQuery(n=100, k=5, s=10)
+        objects = make_objects(random_scores(400, seed=4))
+        algorithm = SMATopK(query)
+        for event in slides_for_query(objects, query):
+            algorithm.process_slide(event)
+        # The grid indexes the whole window, so memory exceeds the candidate
+        # footprint by a factor related to n / kmax.
+        assert algorithm.memory_bytes() > query.n * 8

@@ -1,0 +1,76 @@
+"""Unit tests for the framework's work counters (FrameworkStats)."""
+
+from repro.core.framework import SAPTopK
+from repro.core.query import TopKQuery
+from repro.partitioning import EqualPartitioner
+
+from ..conftest import make_objects, random_scores
+
+
+def _run(sap, objects):
+    sap.run(objects)
+    return sap.stats
+
+
+class TestFrameworkStats:
+    def test_counters_start_at_zero(self):
+        sap = SAPTopK(TopKQuery(n=50, k=3, s=5))
+        assert sap.stats.as_dict() == {
+            "partitions_sealed": 0,
+            "fronts_prepared": 0,
+            "meaningful_formed": 0,
+            "meaningful_skipped": 0,
+            "promotions": 0,
+            "refine_removals": 0,
+        }
+
+    def test_partitions_sealed_counts_every_seal(self, small_uniform_stream):
+        sap = SAPTopK(TopKQuery(n=150, k=7, s=10), partitioner=EqualPartitioner(m=5))
+        _run(sap, small_uniform_stream)
+        # Every sealed partition got a fresh id, so the counter matches.
+        assert sap.stats.partitions_sealed == sap._next_partition_id
+        assert sap.stats.partitions_sealed >= sap.partition_count
+
+    def test_every_prepared_front_is_formed_or_skipped(self, small_uniform_stream):
+        sap = SAPTopK(TopKQuery(n=150, k=7, s=10))
+        _run(sap, small_uniform_stream)
+        stats = sap.stats
+        assert stats.fronts_prepared > 0
+        assert stats.meaningful_formed + stats.meaningful_skipped == stats.fronts_prepared
+
+    def test_decreasing_stream_forms_meaningful_sets(self, decreasing_stream):
+        """On an anti-correlated stream the front partition always has
+        rho < k, so the meaningful set is formed for (almost) every front
+        and promotions actually happen."""
+        sap = SAPTopK(TopKQuery(n=120, k=6, s=6))
+        _run(sap, decreasing_stream)
+        assert sap.stats.meaningful_formed > 0
+        assert sap.stats.promotions > 0
+
+    def test_increasing_stream_skips_meaningful_sets(self, increasing_stream):
+        """On a correlated stream newer partitions dominate older ones, so
+        rho >= k for every front after the first and formation is skipped."""
+        sap = SAPTopK(TopKQuery(n=120, k=6, s=6))
+        _run(sap, increasing_stream)
+        assert sap.stats.meaningful_skipped >= sap.stats.meaningful_formed
+        assert sap.stats.refine_removals > 0
+
+    def test_eager_policy_always_forms(self, small_uniform_stream):
+        sap = SAPTopK(TopKQuery(n=150, k=7, s=10), meaningful_policy="eager")
+        _run(sap, small_uniform_stream)
+        assert sap.stats.meaningful_skipped == 0
+        assert sap.stats.meaningful_formed == sap.stats.fronts_prepared
+
+    def test_stats_repr_and_dict(self, small_uniform_stream):
+        sap = SAPTopK(TopKQuery(n=150, k=7, s=10))
+        _run(sap, small_uniform_stream)
+        as_dict = sap.stats.as_dict()
+        assert set(as_dict) == {
+            "partitions_sealed",
+            "fronts_prepared",
+            "meaningful_formed",
+            "meaningful_skipped",
+            "promotions",
+            "refine_removals",
+        }
+        assert all(value >= 0 for value in as_dict.values())

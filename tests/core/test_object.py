@@ -1,0 +1,95 @@
+"""Unit tests for the stream-object data model and its total order."""
+
+import pytest
+
+from repro.core.object import StreamObject, kth_score, sort_by_rank, top_k
+
+
+class TestRankOrder:
+    def test_rank_key_prefers_higher_score(self):
+        low = StreamObject(score=1.0, t=5)
+        high = StreamObject(score=2.0, t=1)
+        assert high.rank_key > low.rank_key
+        assert high.beats(low)
+        assert not low.beats(high)
+
+    def test_score_ties_broken_by_arrival_order(self):
+        older = StreamObject(score=3.0, t=1)
+        newer = StreamObject(score=3.0, t=2)
+        assert newer.beats(older)
+        assert newer.rank_key > older.rank_key
+
+    def test_rank_key_is_score_then_arrival(self):
+        obj = StreamObject(score=7.5, t=11)
+        assert obj.rank_key == (7.5, 11)
+
+
+class TestDominance:
+    def test_later_higher_object_dominates(self):
+        old = StreamObject(score=1.0, t=1)
+        new = StreamObject(score=2.0, t=2)
+        assert old.dominated_by(new)
+
+    def test_earlier_object_never_dominates(self):
+        old = StreamObject(score=5.0, t=1)
+        new = StreamObject(score=1.0, t=2)
+        assert not new.dominated_by(old)
+
+    def test_equal_score_later_arrival_dominates(self):
+        old = StreamObject(score=5.0, t=1)
+        new = StreamObject(score=5.0, t=2)
+        assert old.dominated_by(new)
+        assert not new.dominated_by(old)
+
+    def test_object_does_not_dominate_itself(self):
+        obj = StreamObject(score=5.0, t=1)
+        assert not obj.dominated_by(obj)
+
+
+class TestHelpers:
+    def test_sort_by_rank_best_first(self):
+        objects = [StreamObject(score=s, t=i) for i, s in enumerate([3.0, 1.0, 2.0])]
+        ordered = sort_by_rank(objects)
+        assert [o.score for o in ordered] == [3.0, 2.0, 1.0]
+
+    def test_sort_by_rank_ascending(self):
+        objects = [StreamObject(score=s, t=i) for i, s in enumerate([3.0, 1.0, 2.0])]
+        ordered = sort_by_rank(objects, reverse=False)
+        assert [o.score for o in ordered] == [1.0, 2.0, 3.0]
+
+    def test_top_k_returns_k_best(self):
+        objects = [StreamObject(score=float(s), t=i) for i, s in enumerate(range(10))]
+        best = top_k(objects, 3)
+        assert [o.score for o in best] == [9.0, 8.0, 7.0]
+
+    def test_top_k_handles_small_input(self):
+        objects = [StreamObject(score=1.0, t=0)]
+        assert len(top_k(objects, 5)) == 1
+
+    def test_top_k_zero_or_negative_k(self):
+        objects = [StreamObject(score=1.0, t=0)]
+        assert top_k(objects, 0) == []
+        assert top_k(objects, -1) == []
+
+    def test_kth_score(self):
+        objects = [StreamObject(score=float(s), t=i) for i, s in enumerate([5, 1, 9, 7])]
+        assert kth_score(objects, 2) == 7.0
+
+    def test_kth_score_insufficient_objects(self):
+        objects = [StreamObject(score=1.0, t=0)]
+        assert kth_score(objects, 3) == float("-inf")
+
+
+class TestTimestamps:
+    def test_arrival_time_defaults_to_t(self):
+        obj = StreamObject(score=1.0, t=17)
+        assert obj.arrival_time == 17
+
+    def test_explicit_timestamp_used_for_arrival_time(self):
+        obj = StreamObject(score=1.0, t=17, timestamp=99)
+        assert obj.arrival_time == 99
+
+    def test_payload_does_not_affect_equality(self):
+        a = StreamObject(score=1.0, t=1, payload={"x": 1})
+        b = StreamObject(score=1.0, t=1, payload={"x": 2})
+        assert a == b

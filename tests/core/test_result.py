@@ -1,0 +1,45 @@
+"""Unit tests for top-k result objects and agreement checking."""
+
+from repro.core.object import StreamObject
+from repro.core.result import TopKResult, results_agree
+
+
+def _result(index, scores):
+    objects = [StreamObject(score=float(s), t=i) for i, s in enumerate(scores)]
+    return TopKResult.from_objects(index, window_end=index, objects=objects)
+
+
+class TestTopKResult:
+    def test_from_objects_orders_best_first(self):
+        result = _result(0, [1.0, 5.0, 3.0])
+        assert result.scores == [5.0, 3.0, 1.0]
+
+    def test_len_and_iteration(self):
+        result = _result(0, [1.0, 2.0])
+        assert len(result) == 2
+        assert [o.score for o in result] == [2.0, 1.0]
+
+    def test_identity_includes_arrival_order(self):
+        a = TopKResult.from_objects(0, 0, [StreamObject(score=1.0, t=1)])
+        b = TopKResult.from_objects(0, 0, [StreamObject(score=1.0, t=2)])
+        assert a.identity() != b.identity()
+
+    def test_arrival_orders_property(self):
+        result = _result(0, [1.0, 5.0])
+        assert result.arrival_orders == [1, 0]
+
+
+class TestResultsAgree:
+    def test_identical_streams_agree(self):
+        left = [_result(0, [1, 2]), _result(1, [3, 4])]
+        right = [_result(0, [1, 2]), _result(1, [3, 4])]
+        assert results_agree(left, right)
+
+    def test_different_scores_disagree(self):
+        assert not results_agree([_result(0, [1, 2])], [_result(0, [1, 3])])
+
+    def test_different_lengths_disagree(self):
+        assert not results_agree([_result(0, [1])], [_result(0, [1]), _result(1, [2])])
+
+    def test_empty_streams_agree(self):
+        assert results_agree([], [])

@@ -1,0 +1,87 @@
+"""Unit tests for the equal partitioner."""
+
+import pytest
+
+from repro.core.exceptions import InvalidPartitionError
+from repro.core.query import TopKQuery
+from repro.partitioning.base import PartitionContext
+from repro.partitioning.equal import EqualPartitioner
+
+from ..conftest import make_objects
+
+
+def _bind(partitioner, query):
+    partitioner.bind(query, PartitionContext(lambda count: []))
+    return partitioner
+
+
+class TestConfiguration:
+    def test_default_resolution_is_m_star(self):
+        query = TopKQuery(n=10_000, k=100, s=10)
+        partitioner = _bind(EqualPartitioner(), query)
+        assert partitioner.partition_size == pytest.approx(
+            query.n / query.m_star, abs=query.s
+        )
+
+    def test_partition_size_multiple_of_slide(self):
+        query = TopKQuery(n=1_000, k=7, s=13)
+        partitioner = _bind(EqualPartitioner(m=9), query)
+        assert partitioner.partition_size % query.s == 0
+
+    def test_partition_size_at_least_max_s_k(self):
+        query = TopKQuery(n=1_000, k=300, s=10)
+        partitioner = _bind(EqualPartitioner(m=50), query)
+        assert partitioner.partition_size >= max(query.s, query.k)
+
+    def test_negative_resolution_rejected(self):
+        with pytest.raises(InvalidPartitionError):
+            EqualPartitioner(m=-1)
+
+    def test_name_reflects_resolution(self):
+        query = TopKQuery(n=100, k=5, s=5)
+        partitioner = _bind(EqualPartitioner(m=4), query)
+        assert "m=4" in partitioner.name
+
+
+class TestSealing:
+    def test_seals_fixed_size_partitions(self):
+        query = TopKQuery(n=100, k=5, s=10)
+        partitioner = _bind(EqualPartitioner(m=5), query)
+        specs = partitioner.observe(make_objects(range(100)))
+        assert len(specs) == 100 // partitioner.partition_size
+        assert all(spec.size == partitioner.partition_size for spec in specs)
+
+    def test_pending_objects_keep_arrival_order(self):
+        query = TopKQuery(n=100, k=5, s=10)
+        partitioner = _bind(EqualPartitioner(m=5), query)
+        partitioner.observe(make_objects(range(25)))
+        pending = partitioner.pending_objects()
+        assert [o.t for o in pending] == sorted(o.t for o in pending)
+
+    def test_incremental_batches_accumulate(self):
+        query = TopKQuery(n=100, k=5, s=10)
+        partitioner = _bind(EqualPartitioner(m=5), query)
+        size = partitioner.partition_size
+        sealed = []
+        objects = make_objects(range(200))
+        for start in range(0, 200, 10):
+            sealed.extend(partitioner.observe(objects[start : start + 10]))
+        assert len(sealed) == 200 // size
+        # Sealed objects plus pending objects equal the full stream.
+        total = sum(spec.size for spec in sealed) + partitioner.pending_count()
+        assert total == 200
+
+    def test_force_seal_drains_pending(self):
+        query = TopKQuery(n=100, k=5, s=10)
+        partitioner = _bind(EqualPartitioner(m=5), query)
+        partitioner.observe(make_objects(range(15)))
+        spec = partitioner.force_seal()
+        assert spec is not None and spec.size == 15
+        assert partitioner.pending_count() == 0
+        assert partitioner.force_seal() is None
+
+    def test_no_unit_metadata(self):
+        query = TopKQuery(n=40, k=2, s=10)
+        partitioner = _bind(EqualPartitioner(m=2), query)
+        specs = partitioner.observe(make_objects(range(40)))
+        assert all(spec.units is None for spec in specs)

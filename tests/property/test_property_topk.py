@@ -1,0 +1,82 @@
+"""Property-based tests: exactness of every algorithm on arbitrary streams."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BruteForceTopK,
+    KSkybandTopK,
+    MinTopK,
+    SAPTopK,
+    SMATopK,
+    TopKQuery,
+    compare_algorithms,
+)
+from repro.partitioning import EnhancedDynamicPartitioner, EqualPartitioner
+
+from ..conftest import make_objects
+
+# A compact but adversarial universe: short windows, small slides, scores
+# with plenty of ties and both signs.
+scores_strategy = st.lists(
+    st.one_of(
+        st.integers(min_value=-50, max_value=50).map(float),
+        st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=30,
+    max_size=160,
+)
+
+query_strategy = st.tuples(
+    st.integers(min_value=5, max_value=30),   # n
+    st.integers(min_value=1, max_value=8),    # k
+    st.integers(min_value=1, max_value=10),   # s
+)
+
+
+def _valid_query(params):
+    n, k, s = params
+    return TopKQuery(n=n, k=min(k, n), s=min(s, n))
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scores=scores_strategy, params=query_strategy)
+def test_sap_variants_match_brute_force(scores, params):
+    query = _valid_query(params)
+    objects = make_objects(scores)
+    outcome = compare_algorithms(
+        [
+            BruteForceTopK,
+            lambda q: SAPTopK(q, partitioner=EqualPartitioner()),
+            lambda q: SAPTopK(q, partitioner=EnhancedDynamicPartitioner()),
+            lambda q: SAPTopK(q, meaningful_policy="eager"),
+            lambda q: SAPTopK(q, use_savl=False),
+        ],
+        objects,
+        query,
+    )
+    assert outcome.agree, outcome.disagreement
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scores=scores_strategy, params=query_strategy)
+def test_baselines_match_brute_force(scores, params):
+    query = _valid_query(params)
+    objects = make_objects(scores)
+    outcome = compare_algorithms(
+        [BruteForceTopK, MinTopK, KSkybandTopK, SMATopK], objects, query
+    )
+    assert outcome.agree, outcome.disagreement
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(scores=scores_strategy, params=query_strategy)
+def test_results_are_sorted_and_distinct(scores, params):
+    query = _valid_query(params)
+    objects = make_objects(scores)
+    sap = SAPTopK(query)
+    for result in sap.run(objects):
+        keys = [o.rank_key for o in result]
+        assert keys == sorted(keys, reverse=True)
+        assert len(set(keys)) == len(keys)
+        assert len(result) <= query.k

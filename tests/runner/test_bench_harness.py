@@ -1,0 +1,126 @@
+"""Unit tests for the benchmark harness (workloads, experiments, reporting)."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.experiments import (
+    ALGORITHM_FACTORIES,
+    PARTITIONER_FACTORIES,
+    equal_partition_sweep,
+    measure_algorithms,
+    measure_one,
+    partitioner_comparison,
+    sweep_parameter,
+)
+from repro.bench.reporting import format_table, write_results
+from repro.bench.workloads import (
+    ALL_DATASETS,
+    FULL_SCALE,
+    QUICK_SCALE,
+    BenchScale,
+    dataset_stream,
+    scale_from_env,
+)
+from repro.core.framework import SAPTopK
+from repro.core.query import TopKQuery
+
+#: A deliberately tiny scale so harness tests finish in milliseconds.
+TINY = BenchScale(
+    name="tiny",
+    stream_length=400,
+    default_n=80,
+    default_k=4,
+    default_s=8,
+    n_values=(40, 80),
+    k_values=(2, 4),
+    s_values=(8, 16),
+    m_values=(1, 3),
+    highspeed_n=120,
+    highspeed_k=12,
+    highspeed_s=40,
+)
+
+
+class TestWorkloads:
+    def test_scale_from_env_defaults_to_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert scale_from_env() is QUICK_SCALE
+
+    def test_scale_from_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert scale_from_env() is FULL_SCALE
+
+    def test_dataset_stream_cached_and_correct_length(self):
+        first = dataset_stream("TIMEU", 300)
+        second = dataset_stream("TIMEU", 300)
+        assert len(first) == 300
+        assert [o.t for o in first] == [o.t for o in second]
+
+    def test_all_datasets_constant(self):
+        assert set(ALL_DATASETS) == {"STOCK", "TRIP", "PLANET", "TIMEU", "TIMER"}
+
+    def test_default_query_params(self):
+        assert TINY.default_query_params() == (80, 4, 8)
+
+
+class TestExperiments:
+    def test_measure_one_is_memoised(self):
+        query = TopKQuery(n=TINY.default_n, k=TINY.default_k, s=TINY.default_s)
+        first = measure_one("TIMEU", query, "SAP", SAPTopK, TINY.stream_length)
+        second = measure_one("TIMEU", query, "SAP", SAPTopK, TINY.stream_length)
+        assert first == second
+        assert first["slides"] > 0
+
+    def test_measure_algorithms_returns_all_metrics(self):
+        query = TopKQuery(n=TINY.default_n, k=TINY.default_k, s=TINY.default_s)
+        measurements = measure_algorithms(
+            "TIMEU", query, ALGORITHM_FACTORIES, TINY.stream_length
+        )
+        assert set(measurements) == set(ALGORITHM_FACTORIES)
+        for metrics in measurements.values():
+            assert {"seconds", "candidates", "memory_kb", "slides"} <= set(metrics)
+
+    def test_sweep_parameter_rows(self):
+        rows = sweep_parameter("TIMEU", TINY, "n", TINY.n_values, ALGORITHM_FACTORIES)
+        assert len(rows) == len(TINY.n_values) * len(ALGORITHM_FACTORIES)
+        assert {row["value"] for row in rows} == set(TINY.n_values)
+
+    def test_sweep_parameter_rejects_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            sweep_parameter("TIMEU", TINY, "q", (1,), ALGORITHM_FACTORIES)
+
+    def test_equal_partition_sweep_covers_variants(self):
+        rows = equal_partition_sweep("TIMEU", TINY, m_values=(1, 2))
+        assert {row["variant"] for row in rows} == {"non-delay", "Algo1", "Algo1+S-AVL"}
+        assert {row["m"] for row in rows} == {1, 2}
+
+    def test_partitioner_comparison_covers_partitioners(self):
+        rows = partitioner_comparison("TIMEU", TINY, "k", TINY.k_values)
+        assert {row["algorithm"] for row in rows} == set(PARTITIONER_FACTORIES)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table("Title", ["a", "bbbb"], [[1, 2.34567], [10, 0.5]])
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[2] and "bbbb" in lines[2]
+        assert "2.3457" in table  # default float format
+
+    def test_format_table_empty_rows(self):
+        table = format_table("Empty", ["col"], [])
+        assert "Empty" in table and "col" in table
+
+    def test_write_results_creates_files(self, tmp_path):
+        path = write_results(
+            "unit_test_table", "hello", raw={"rows": [1, 2]}, directory=str(tmp_path)
+        )
+        assert os.path.exists(path)
+        with open(os.path.join(tmp_path, "unit_test_table.json")) as handle:
+            assert json.load(handle) == {"rows": [1, 2]}
+
+    def test_write_results_tolerates_unwritable_directory(self):
+        path = write_results("x", "y", directory="/proc/definitely/not/writable")
+        assert path == ""

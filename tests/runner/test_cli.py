@@ -1,0 +1,66 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import CLI_ALGORITHMS, build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.algorithm == "SAP"
+        assert args.dataset == "TIMEU"
+
+    def test_compare_algorithm_list(self):
+        args = build_parser().parse_args(
+            ["compare", "--algorithms", "SAP", "MinTopK", "--k", "5"]
+        )
+        assert args.algorithms == ["SAP", "MinTopK"]
+        assert args.k == 5
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "nope"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_every_registered_algorithm_has_a_factory(self):
+        from repro.core.query import TopKQuery
+
+        query = TopKQuery(n=50, k=3, s=5)
+        for name, factory in CLI_ALGORITHMS.items():
+            algorithm = factory(query)
+            assert algorithm.query is query, name
+
+
+class TestCommands:
+    def test_run_command_prints_summary(self, capsys):
+        exit_code = main(
+            ["run", "--dataset", "TIMEU", "--objects", "600", "--n", "100", "--k", "5",
+             "--s", "20", "--algorithm", "SAP"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "top-5 over a count-based window of 100" in captured
+        assert "final window top-5 scores" in captured
+
+    def test_run_command_other_algorithm(self, capsys):
+        exit_code = main(
+            ["run", "--dataset", "STOCK", "--objects", "500", "--n", "100", "--k", "3",
+             "--s", "25", "--algorithm", "MinTopK"]
+        )
+        assert exit_code == 0
+        assert "MinTopK" in capsys.readouterr().out
+
+    def test_compare_command_agreement(self, capsys):
+        exit_code = main(
+            ["compare", "--dataset", "TIMER", "--objects", "800", "--n", "150", "--k", "5",
+             "--s", "30", "--algorithms", "SAP", "MinTopK", "k-skyband"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "agreement : True" in captured
+        assert "MinTopK" in captured and "k-skyband" in captured

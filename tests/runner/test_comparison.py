@@ -1,0 +1,63 @@
+"""Unit tests for the cross-algorithm comparison helper."""
+
+from repro.baselines.brute_force import BruteForceTopK
+from repro.baselines.kskyband import KSkybandTopK
+from repro.core.framework import SAPTopK
+from repro.core.interface import ContinuousTopKAlgorithm
+from repro.core.object import top_k
+from repro.core.query import TopKQuery
+from repro.core.result import TopKResult
+from repro.runner.comparison import compare_algorithms
+
+from ..conftest import make_objects, random_scores
+
+
+class _DeliberatelyWrong(ContinuousTopKAlgorithm):
+    """Returns the bottom-k instead of the top-k (for negative testing)."""
+
+    name = "wrong"
+
+    def __init__(self, query):
+        super().__init__(query)
+        self._window = []
+
+    def process_slide(self, event):
+        expired = {o.t for o in event.expirations}
+        self._window = [o for o in self._window if o.t not in expired]
+        self._window.extend(event.arrivals)
+        worst = sorted(self._window, key=lambda o: o.rank_key)[: self.query.k]
+        return TopKResult.from_objects(event.index, event.window_end, worst)
+
+
+class TestCompareAlgorithms:
+    def test_exact_algorithms_agree(self):
+        query = TopKQuery(n=60, k=4, s=6)
+        objects = make_objects(random_scores(360, seed=1))
+        outcome = compare_algorithms(
+            [BruteForceTopK, SAPTopK, KSkybandTopK], objects, query
+        )
+        assert outcome.agree
+        assert outcome.disagreement is None
+        assert set(outcome.names()) == {"brute-force", "SAP[enhanced-dynamic]", "k-skyband"}
+
+    def test_detects_disagreement(self):
+        query = TopKQuery(n=60, k=4, s=6)
+        objects = make_objects(random_scores(360, seed=2))
+        outcome = compare_algorithms([BruteForceTopK, _DeliberatelyWrong], objects, query)
+        assert not outcome.agree
+        assert "wrong" in outcome.disagreement
+
+    def test_without_results_no_agreement_check(self):
+        query = TopKQuery(n=60, k=4, s=6)
+        objects = make_objects(random_scores(360, seed=3))
+        outcome = compare_algorithms(
+            [BruteForceTopK, _DeliberatelyWrong], objects, query, keep_results=False
+        )
+        assert outcome.agree  # nothing to compare
+        assert outcome.report("brute-force").results == []
+
+    def test_single_algorithm(self):
+        query = TopKQuery(n=60, k=4, s=6)
+        objects = make_objects(random_scores(200, seed=4))
+        outcome = compare_algorithms([BruteForceTopK], objects, query)
+        assert outcome.agree and len(outcome.names()) == 1

@@ -1,0 +1,61 @@
+"""Unit tests for the execution engine and metrics collection."""
+
+from repro.baselines.brute_force import BruteForceTopK
+from repro.core.framework import SAPTopK
+from repro.core.query import TopKQuery
+from repro.runner.engine import run_algorithm
+from repro.runner.metrics import MetricsCollector, bytes_to_kb
+
+from ..conftest import make_objects, random_scores
+
+
+class TestMetricsCollector:
+    def test_averages(self):
+        metrics = MetricsCollector()
+        metrics.record(candidate_count=10, memory_bytes=1024)
+        metrics.record(candidate_count=20, memory_bytes=3072)
+        assert metrics.slides == 2
+        assert metrics.average_candidates == 15
+        assert metrics.candidate_max == 20
+        assert metrics.average_memory_kb == 2.0
+
+    def test_empty_collector(self):
+        metrics = MetricsCollector()
+        assert metrics.average_candidates == 0.0
+        assert metrics.average_memory_bytes == 0.0
+
+    def test_bytes_to_kb(self):
+        assert bytes_to_kb(2048) == 2.0
+
+
+class TestRunAlgorithm:
+    def test_report_contains_results_and_metrics(self):
+        query = TopKQuery(n=50, k=3, s=5)
+        objects = make_objects(random_scores(300, seed=1))
+        report = run_algorithm(SAPTopK(query), objects)
+        expected_slides = 1 + (300 - 50) // 5
+        assert report.slides == expected_slides
+        assert len(report.results) == expected_slides
+        assert report.elapsed_seconds >= 0
+        assert report.average_candidates > 0
+        assert "SAP" in report.summary()
+
+    def test_keep_results_false_drops_results(self):
+        query = TopKQuery(n=50, k=3, s=5)
+        objects = make_objects(random_scores(200, seed=2))
+        report = run_algorithm(SAPTopK(query), objects, keep_results=False)
+        assert report.results == []
+        assert report.slides > 0
+
+    def test_metrics_disabled_still_counts_slides(self):
+        query = TopKQuery(n=50, k=3, s=5)
+        objects = make_objects(random_scores(200, seed=3))
+        report = run_algorithm(BruteForceTopK(query), objects, collect_metrics=False)
+        assert report.slides == 1 + (200 - 50) // 5
+        assert report.average_candidates == 0.0
+
+    def test_every_result_has_k_objects(self):
+        query = TopKQuery(n=50, k=3, s=5)
+        objects = make_objects(random_scores(200, seed=4))
+        report = run_algorithm(SAPTopK(query), objects)
+        assert all(len(result) == query.k for result in report.results)

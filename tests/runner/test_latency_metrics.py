@@ -1,0 +1,52 @@
+"""Unit tests for the per-slide latency metrics."""
+
+import pytest
+
+from repro.core.framework import SAPTopK
+from repro.core.query import TopKQuery
+from repro.runner.engine import run_algorithm
+from repro.runner.metrics import MetricsCollector, percentile
+
+from ..conftest import make_objects, random_scores
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 9.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestLatencyCollection:
+    def test_collector_tracks_latency_distribution(self):
+        metrics = MetricsCollector()
+        for latency in [0.001, 0.002, 0.010]:
+            metrics.record(candidate_count=1, memory_bytes=1, latency_seconds=latency)
+        assert metrics.median_latency == 0.002
+        assert metrics.max_latency == 0.010
+        assert metrics.p95_latency <= metrics.max_latency
+
+    def test_latency_optional(self):
+        metrics = MetricsCollector()
+        metrics.record(candidate_count=1, memory_bytes=1)
+        assert metrics.latencies == []
+        assert metrics.median_latency == 0.0
+        assert metrics.max_latency == 0.0
+
+    def test_run_algorithm_records_one_latency_per_slide(self):
+        query = TopKQuery(n=60, k=3, s=6)
+        objects = make_objects(random_scores(300, seed=1))
+        report = run_algorithm(SAPTopK(query), objects)
+        assert len(report.metrics.latencies) == report.slides
+        assert all(latency >= 0.0 for latency in report.metrics.latencies)
+        assert sum(report.metrics.latencies) <= report.elapsed_seconds + 1e-6
+        assert report.metrics.p95_latency >= report.metrics.median_latency

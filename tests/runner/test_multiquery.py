@@ -1,0 +1,80 @@
+"""Unit tests for the shared-stream multi-query engine."""
+
+import pytest
+
+from repro.baselines.brute_force import BruteForceTopK
+from repro.baselines.mintopk import MinTopK
+from repro.core.framework import SAPTopK
+from repro.core.query import TopKQuery
+from repro.core.result import results_agree
+from repro.runner.engine import run_algorithm
+from repro.runner.multiquery import MultiQueryEngine
+
+from ..conftest import make_objects, random_scores
+
+
+class TestRegistration:
+    def test_duplicate_names_rejected(self):
+        engine = MultiQueryEngine()
+        engine.register("q1", SAPTopK(TopKQuery(n=50, k=3, s=5)))
+        with pytest.raises(ValueError):
+            engine.register("q1", SAPTopK(TopKQuery(n=60, k=3, s=5)))
+
+    def test_push_without_queries_rejected(self):
+        with pytest.raises(ValueError):
+            MultiQueryEngine().push(make_objects([1])[0])
+
+    def test_names_and_algorithm_access(self):
+        engine = MultiQueryEngine()
+        algorithm = SAPTopK(TopKQuery(n=50, k=3, s=5))
+        engine.register("mine", algorithm)
+        assert engine.names() == ["mine"]
+        assert engine.algorithm("mine") is algorithm
+
+
+class TestSharedStreamExecution:
+    def test_each_query_matches_standalone_run(self):
+        objects = make_objects(random_scores(500, seed=3))
+        queries = {
+            "small": TopKQuery(n=60, k=3, s=6),
+            "large": TopKQuery(n=200, k=10, s=20),
+            "tumbling": TopKQuery(n=100, k=5, s=100),
+        }
+        engine = MultiQueryEngine()
+        for name, query in queries.items():
+            engine.register(name, SAPTopK(query))
+        combined = engine.run(objects)
+
+        for name, query in queries.items():
+            standalone = run_algorithm(SAPTopK(query), objects).results
+            assert results_agree(combined[name], standalone), name
+
+    def test_mixed_algorithms_agree_with_each_other(self):
+        objects = make_objects(random_scores(400, seed=4))
+        query = TopKQuery(n=80, k=4, s=8)
+        engine = MultiQueryEngine()
+        engine.register("sap", SAPTopK(query))
+        engine.register("mintopk", MinTopK(query))
+        engine.register("oracle", BruteForceTopK(query))
+        combined = engine.run(objects)
+        assert results_agree(combined["sap"], combined["oracle"])
+        assert results_agree(combined["mintopk"], combined["oracle"])
+
+    def test_push_reports_results_when_windows_complete(self):
+        query = TopKQuery(n=10, k=2, s=5)
+        engine = MultiQueryEngine()
+        engine.register("q", SAPTopK(query))
+        produced_at = []
+        for obj in make_objects(range(25)):
+            produced = engine.push(obj)
+            if produced:
+                produced_at.append(obj.t)
+        # First answer when the window fills (t=9), then every 5 objects.
+        assert produced_at == [9, 14, 19, 24]
+
+    def test_results_accessor(self):
+        query = TopKQuery(n=20, k=2, s=10)
+        engine = MultiQueryEngine()
+        engine.register("q", SAPTopK(query))
+        engine.run(make_objects(random_scores(100, seed=5)))
+        assert len(engine.results("q")) == 1 + (100 - 20) // 10

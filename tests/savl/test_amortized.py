@@ -1,0 +1,133 @@
+"""Unit tests for the amortized proactive S-AVL formation."""
+
+import pytest
+
+from repro.core.object import top_k
+from repro.core.partition import build_partition
+from repro.savl.amortized import AmortizedSAVLBuilder
+from repro.savl.savl import SAVL
+from repro.stats.dominance import k_skyband
+
+from ..conftest import make_objects, random_scores
+
+
+def _partition(scores, k):
+    return build_partition(0, make_objects(scores), k=k)
+
+
+class TestBuilder:
+    def test_requires_positive_stacks(self):
+        with pytest.raises(ValueError):
+            AmortizedSAVLBuilder(_partition([1, 2, 3], 1), num_stacks=0)
+
+    def test_step_consumes_requested_count(self):
+        partition = _partition(random_scores(50, seed=1), k=3)
+        builder = AmortizedSAVLBuilder(partition, num_stacks=3)
+        assert builder.remaining == 50
+        assert builder.step(10) == 10
+        assert builder.scanned == 10
+        assert builder.remaining == 40
+        assert not builder.done
+
+    def test_step_beyond_end(self):
+        partition = _partition(random_scores(10, seed=2), k=2)
+        builder = AmortizedSAVLBuilder(partition, num_stacks=2)
+        assert builder.step(100) == 10
+        assert builder.done
+        assert builder.step(5) == 0
+
+    def test_step_zero_is_noop(self):
+        partition = _partition(random_scores(10, seed=3), k=2)
+        builder = AmortizedSAVLBuilder(partition, num_stacks=2)
+        assert builder.step(0) == 0
+        assert builder.scanned == 0
+
+    def test_finish_completes_construction(self):
+        partition = _partition(random_scores(30, seed=4), k=2)
+        builder = AmortizedSAVLBuilder(partition, num_stacks=2)
+        builder.step(7)
+        savl = builder.finish()
+        assert builder.done
+        assert isinstance(savl, SAVL)
+
+    def test_incremental_build_matches_one_shot_build(self):
+        """Building in many small steps must store exactly the same objects
+        as the one-shot SAVL.build used by the lazy policy."""
+        scores = random_scores(80, seed=5)
+        k = 4
+        partition = _partition(scores, k=k)
+        exclude = {o.rank_key for o in partition.topk}
+
+        builder = AmortizedSAVLBuilder(partition, num_stacks=k, exclude_keys=exclude)
+        while not builder.done:
+            builder.step(7)
+        incremental = {o.rank_key for o in builder.finish().contents()}
+
+        one_shot = SAVL.build(partition.objects, num_stacks=k, exclude_keys=exclude)
+        assert incremental == {o.rank_key for o in one_shot.contents()}
+
+    def test_result_covers_local_skyband(self):
+        scores = random_scores(60, seed=6)
+        k = 3
+        partition = _partition(scores, k=k)
+        exclude = {o.rank_key for o in partition.topk}
+        builder = AmortizedSAVLBuilder(partition, num_stacks=k, exclude_keys=exclude)
+        builder.step(20)
+        savl = builder.finish()
+        stored = {o.rank_key for o in savl.contents()}
+        skyband = {
+            o.rank_key for o in k_skyband(partition.objects, k) if o.rank_key not in exclude
+        }
+        assert skyband <= stored
+
+    def test_global_threshold_applied(self):
+        partition = _partition([1.0, 50.0, 2.0, 60.0, 3.0], k=1)
+        builder = AmortizedSAVLBuilder(
+            partition, num_stacks=2, global_threshold=(10.0, 10_000)
+        )
+        savl = builder.finish()
+        assert all(o.score >= 10.0 for o in savl.contents())
+
+
+class TestFrameworkAmortizedPolicy:
+    def test_amortized_policy_is_exact(self, small_uniform_stream):
+        from repro.baselines.brute_force import BruteForceTopK
+        from repro.core.framework import SAPTopK
+        from repro.core.query import TopKQuery
+        from repro.core.result import results_agree
+
+        query = TopKQuery(n=150, k=7, s=10)
+        sap = SAPTopK(query, meaningful_policy="amortized")
+        reference = BruteForceTopK(query)
+        assert results_agree(sap.run(small_uniform_stream), reference.run(small_uniform_stream))
+
+    def test_amortized_policy_is_exact_on_decreasing_stream(self, decreasing_stream):
+        from repro.baselines.brute_force import BruteForceTopK
+        from repro.core.framework import SAPTopK
+        from repro.core.query import TopKQuery
+        from repro.core.result import results_agree
+
+        query = TopKQuery(n=120, k=6, s=6)
+        sap = SAPTopK(query, meaningful_policy="amortized")
+        reference = BruteForceTopK(query)
+        assert results_agree(sap.run(decreasing_stream), reference.run(decreasing_stream))
+
+    def test_builder_progress_spread_over_slides(self, small_uniform_stream):
+        """While the front partition expires, the next partition's S-AVL is
+        built incrementally rather than in one final burst."""
+        from repro.core.framework import SAPTopK
+        from repro.core.query import TopKQuery
+        from repro.core.window import slides_for_query
+        from repro.partitioning import EqualPartitioner
+
+        query = TopKQuery(n=200, k=5, s=10)
+        sap = SAPTopK(
+            query, partitioner=EqualPartitioner(m=2), meaningful_policy="amortized"
+        )
+        progress_seen = False
+        for event in slides_for_query(small_uniform_stream, query):
+            sap.process_slide(event)
+            builder = sap._amortized_builder
+            if builder is not None and 0 < builder.scanned < len(builder.partition):
+                progress_seen = True
+        assert progress_seen

@@ -1,0 +1,90 @@
+"""Unit tests for the slide-aware S-AVL construction (Appendix C)."""
+
+import pytest
+
+from repro.core.object import top_k
+from repro.savl.savl import SAVL
+
+from ..conftest import make_objects, random_scores
+
+
+class TestBuildBatched:
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            SAVL.build_batched(make_objects([1, 2]), batch_size=0, num_stacks=1)
+
+    def test_keeps_only_per_batch_top_objects(self):
+        # Two batches of 5; only the top-2 of each batch may be stored.
+        objects = make_objects([1, 2, 3, 4, 5, 10, 20, 30, 40, 50])
+        savl = SAVL.build_batched(objects, batch_size=5, num_stacks=2)
+        stored = {o.score for o in savl.contents()}
+        assert stored <= {4.0, 5.0, 40.0, 50.0}
+        assert {40.0, 50.0} <= stored
+
+    def test_subset_of_plain_build(self):
+        objects = make_objects(random_scores(100, seed=1))
+        plain = {o.rank_key for o in SAVL.build(objects, num_stacks=3).contents()}
+        batched = {
+            o.rank_key
+            for o in SAVL.build_batched(objects, batch_size=10, num_stacks=3).contents()
+        }
+        assert batched <= plain
+
+    def test_covers_per_batch_skyband_needs(self):
+        """Every object that could still become a result (not dominated by k
+        same-batch objects) must be stored."""
+        k = 3
+        objects = make_objects(random_scores(90, seed=2))
+        savl = SAVL.build_batched(objects, batch_size=9, num_stacks=k)
+        stored = {o.rank_key for o in savl.contents()}
+        for start in range(0, 90, 9):
+            batch = objects[start : start + 9]
+            for obj in top_k(batch, k):
+                # The batch's top-k survive local pruning unless pruned by
+                # the (absent) global threshold or deeper stack pruning that
+                # only removes objects dominated by k later objects.
+                dominated_by_later = sum(
+                    1 for other in objects if obj.dominated_by(other)
+                )
+                if dominated_by_later < k:
+                    assert obj.rank_key in stored
+
+    def test_respects_exclusions_and_threshold(self):
+        objects = make_objects([5, 50, 7, 70])
+        savl = SAVL.build_batched(
+            objects,
+            batch_size=2,
+            num_stacks=2,
+            global_threshold=(6.0, 10_000),
+            exclude_keys={(70.0, 3)},
+        )
+        stored = {o.score for o in savl.contents()}
+        assert 70.0 not in stored  # excluded (it is a partition candidate)
+        assert 5.0 not in stored  # below the global threshold
+        assert 50.0 in stored
+
+    def test_misaligned_arrival_orders_grouped_by_slide(self):
+        # Objects start at t=7 with slide 5: groups are t in [7..9], [10..14].
+        objects = make_objects(random_scores(8, seed=3), start_t=7)
+        savl = SAVL.build_batched(objects, batch_size=5, num_stacks=1)
+        stored = {o.rank_key for o in savl.contents()}
+        first_group = [o for o in objects if o.t // 5 == 1]
+        second_group = [o for o in objects if o.t // 5 == 2]
+        # Only per-group best objects may be stored (grouping by t // s, not
+        # by position), and the newest group's best always survives.
+        allowed = {top_k(first_group, 1)[0].rank_key, top_k(second_group, 1)[0].rank_key}
+        assert stored <= allowed
+        assert top_k(second_group, 1)[0].rank_key in stored
+
+    def test_framework_with_appendix_c_is_exact(self, small_uniform_stream):
+        from repro.baselines.brute_force import BruteForceTopK
+        from repro.core.framework import SAPTopK
+        from repro.core.query import TopKQuery
+        from repro.core.result import results_agree
+
+        # s > 1 activates the batched construction inside the framework.
+        query = TopKQuery(n=180, k=9, s=12)
+        assert results_agree(
+            SAPTopK(query).run(small_uniform_stream),
+            BruteForceTopK(query).run(small_uniform_stream),
+        )

@@ -1,0 +1,46 @@
+"""Unit tests for the list-based and empty meaningful-object sets."""
+
+from repro.savl.meaningful import EmptyMeaningfulSet, SortedMeaningfulSet
+
+from ..conftest import make_objects
+
+
+class TestSortedMeaningfulSet:
+    def test_pop_best_in_rank_order(self):
+        objects = make_objects([3, 9, 5])
+        meaningful = SortedMeaningfulSet(objects)
+        assert meaningful.pop_best(0).score == 9.0
+        assert meaningful.pop_best(0).score == 5.0
+        assert meaningful.pop_best(0).score == 3.0
+        assert meaningful.pop_best(0) is None
+
+    def test_pop_best_skips_expired(self):
+        objects = make_objects([9, 5, 3])  # t = 0, 1, 2
+        meaningful = SortedMeaningfulSet(objects)
+        best = meaningful.pop_best(watermark_t=1)
+        assert best.t >= 1
+
+    def test_prune_expired(self):
+        objects = make_objects([9, 5, 3])
+        meaningful = SortedMeaningfulSet(objects)
+        meaningful.prune_expired(watermark_t=2)
+        assert len(meaningful) == 1
+
+    def test_len(self):
+        assert len(SortedMeaningfulSet(make_objects([1, 2]))) == 2
+        assert len(SortedMeaningfulSet([])) == 0
+
+    def test_advance_is_noop(self):
+        meaningful = SortedMeaningfulSet(make_objects([1]))
+        meaningful.advance(5)
+        assert len(meaningful) == 1
+
+
+class TestEmptyMeaningfulSet:
+    def test_always_empty(self):
+        empty = EmptyMeaningfulSet()
+        assert len(empty) == 0
+        assert empty.pop_best(0) is None
+        empty.prune_expired(0)
+        empty.advance(3)
+        assert len(empty) == 0

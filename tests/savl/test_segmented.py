@@ -1,0 +1,134 @@
+"""Unit tests for the UBSA segmented S-AVL construction."""
+
+import pytest
+
+from repro.core.object import StreamObject, top_k
+from repro.core.partition import UnitSummary, build_partition
+from repro.savl.segmented import SegmentedSAVL
+from repro.stats.dominance import k_skyband
+
+from ..conftest import make_objects, random_scores
+
+
+def _partition_with_units(scores, unit_size, k, k_unit_flags=None):
+    objects = make_objects(scores)
+    units = []
+    index = 0
+    for start in range(0, len(objects), unit_size):
+        chunk = objects[start : start + unit_size]
+        is_k_unit = True if k_unit_flags is None else k_unit_flags[index]
+        summary = top_k(chunk, k) if is_k_unit else top_k(chunk, 1)
+        units.append(
+            UnitSummary(start=start, end=start + len(chunk), is_k_unit=is_k_unit, summary=summary)
+        )
+        index += 1
+    return build_partition(0, objects, k=k, units=units)
+
+
+class TestConstruction:
+    def test_requires_unit_metadata(self):
+        partition = build_partition(0, make_objects([1, 2, 3]), k=1)
+        with pytest.raises(ValueError):
+            SegmentedSAVL(partition, num_stacks=1, threshold_provider=lambda: None)
+
+    def test_k_units_are_deferred(self):
+        partition = _partition_with_units(random_scores(40, seed=0), unit_size=10, k=2)
+        segmented = SegmentedSAVL(partition, num_stacks=2, threshold_provider=lambda: None)
+        assert segmented.deferred_unit_count == 4
+        assert segmented.scanned_unit_count == 0
+
+    def test_non_k_units_below_threshold_are_skipped(self):
+        scores = [1.0] * 10 + [50.0 + i for i in range(10)]
+        partition = _partition_with_units(
+            scores, unit_size=10, k=2, k_unit_flags=[False, False]
+        )
+        segmented = SegmentedSAVL(
+            partition, num_stacks=2, threshold_provider=lambda: (10.0, 10_000)
+        )
+        # The first unit's maximum (1.0) falls below the threshold.
+        assert segmented.skipped_units >= 1
+
+    def test_phase_one_contains_k_unit_summaries(self):
+        partition = _partition_with_units(random_scores(30, seed=1), unit_size=10, k=3)
+        exclude = {o.rank_key for o in partition.topk}
+        segmented = SegmentedSAVL(
+            partition, num_stacks=3, threshold_provider=lambda: None, exclude_keys=exclude
+        )
+        stored = set()
+        while True:
+            obj = segmented.pop_best(0)
+            if obj is None:
+                break
+            stored.add(obj.rank_key)
+        for unit in partition.units:
+            for obj in unit.summary:
+                if obj.rank_key not in exclude:
+                    assert obj.rank_key in stored
+
+
+class TestPhaseTwo:
+    def test_advance_triggers_deferred_scans(self):
+        partition = _partition_with_units(random_scores(40, seed=2), unit_size=10, k=2)
+        segmented = SegmentedSAVL(partition, num_stacks=2, threshold_provider=lambda: None)
+        # Units 0 and 1 are scanned immediately on the first advance.
+        segmented.advance(0)
+        assert segmented.scanned_unit_count >= 2
+        segmented.advance(25)
+        assert segmented.scanned_unit_count >= 3
+        segmented.advance(35)
+        assert segmented.scanned_unit_count == 4
+
+    def test_unit_scanned_before_it_starts_expiring(self):
+        partition = _partition_with_units(random_scores(50, seed=3), unit_size=10, k=2)
+        segmented = SegmentedSAVL(partition, num_stacks=2, threshold_provider=lambda: None)
+        for expired in range(0, 50, 5):
+            segmented.advance(expired)
+            for deferred_index in range(segmented.deferred_unit_count):
+                unit = partition.units[deferred_index]
+                if expired >= unit.start:
+                    # If the unit has started expiring it must be scanned.
+                    assert segmented._deferred[deferred_index].scanned
+
+    def test_full_coverage_after_all_scans(self):
+        scores = random_scores(60, seed=4)
+        k = 3
+        partition = _partition_with_units(scores, unit_size=20, k=k)
+        exclude = {o.rank_key for o in partition.topk}
+        segmented = SegmentedSAVL(
+            partition, num_stacks=k, threshold_provider=lambda: None, exclude_keys=exclude
+        )
+        segmented.advance(len(scores))
+        stored = set()
+        while True:
+            obj = segmented.pop_best(0)
+            if obj is None:
+                break
+            stored.add(obj.rank_key)
+        skyband = {
+            o.rank_key
+            for o in k_skyband(partition.objects, k)
+            if o.rank_key not in exclude
+        }
+        assert skyband <= stored
+
+
+class TestPromotion:
+    def test_pop_best_across_containers_is_monotone(self):
+        partition = _partition_with_units(random_scores(40, seed=5), unit_size=10, k=2)
+        segmented = SegmentedSAVL(partition, num_stacks=2, threshold_provider=lambda: None)
+        segmented.advance(40)
+        keys = []
+        while True:
+            obj = segmented.pop_best(0)
+            if obj is None:
+                break
+            keys.append(obj.rank_key)
+        assert keys == sorted(keys, reverse=True)
+
+    def test_prune_expired(self):
+        partition = _partition_with_units(random_scores(40, seed=6), unit_size=10, k=2)
+        segmented = SegmentedSAVL(partition, num_stacks=2, threshold_provider=lambda: None)
+        segmented.advance(40)
+        segmented.prune_expired(watermark_t=20)
+        obj = segmented.pop_best(watermark_t=20)
+        assert obj is None or obj.t >= 20

@@ -1,0 +1,116 @@
+"""Unit tests for the Mann-Whitney rank-sum test (WRT)."""
+
+import math
+import random
+
+import pytest
+
+from repro.stats.mannwhitney import (
+    lower_critical_value,
+    normal_quantile,
+    rank_sum,
+    rank_sum_test,
+    upper_critical_value,
+)
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert abs(normal_quantile(0.5)) < 1e-9
+
+    def test_known_quantiles(self):
+        assert math.isclose(normal_quantile(0.975), 1.959964, abs_tol=1e-4)
+        assert math.isclose(normal_quantile(0.95), 1.644854, abs_tol=1e-4)
+        assert math.isclose(normal_quantile(0.025), -1.959964, abs_tol=1e-4)
+
+    def test_symmetry(self):
+        for p in [0.01, 0.1, 0.3, 0.45]:
+            assert math.isclose(normal_quantile(p), -normal_quantile(1 - p), abs_tol=1e-8)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+
+class TestRankSum:
+    def test_total_rank_sum(self):
+        sample1, sample2 = [1.0, 3.0], [2.0, 4.0, 5.0]
+        r1, r2 = rank_sum(sample1, sample2)
+        total = len(sample1) + len(sample2)
+        assert r1 + r2 == total * (total + 1) / 2
+
+    def test_clearly_larger_sample(self):
+        r1, _ = rank_sum([10.0, 11.0, 12.0], [1.0, 2.0, 3.0])
+        assert r1 == 4 + 5 + 6
+
+    def test_ties_get_mid_ranks(self):
+        r1, r2 = rank_sum([1.0, 2.0], [2.0, 3.0])
+        # The two 2.0 values share ranks 2 and 3 -> 2.5 each.
+        assert r1 == 1 + 2.5
+        assert r2 == 2.5 + 4
+
+
+class TestCriticalValues:
+    def test_upper_above_lower(self):
+        assert upper_critical_value(5, 10) > lower_critical_value(5, 10)
+
+    def test_upper_critical_value_tail_probability(self):
+        # Exhaustively verify the exact tail for a small case.
+        n1, n2 = 3, 5
+        critical = upper_critical_value(n1, n2, alpha=0.05)
+        import itertools
+
+        ranks = range(1, n1 + n2 + 1)
+        sums = [sum(combo) for combo in itertools.combinations(ranks, n1)]
+        tail = sum(1 for value in sums if value >= critical) / len(sums)
+        assert tail <= 0.025
+        tail_one_lower = sum(1 for value in sums if value >= critical - 1) / len(sums)
+        assert tail_one_lower > 0.025
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            upper_critical_value(0, 5)
+
+
+class TestRankSumTest:
+    def test_small_samples_use_exact_distribution(self):
+        outcome = rank_sum_test([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+        assert not outcome.used_normal_approximation
+
+    def test_large_samples_use_normal_approximation(self):
+        sample1 = [float(i) for i in range(15)]
+        sample2 = [float(i) + 0.5 for i in range(20)]
+        outcome = rank_sum_test(sample1, sample2)
+        assert outcome.used_normal_approximation
+
+    def test_detects_clearly_larger_first_sample(self):
+        rng = random.Random(1)
+        sample1 = [rng.uniform(100, 110) for _ in range(12)]
+        sample2 = [rng.uniform(0, 10) for _ in range(40)]
+        assert rank_sum_test(sample1, sample2).first_is_larger
+
+    def test_does_not_flag_identical_distributions(self):
+        rng = random.Random(2)
+        flagged = 0
+        trials = 40
+        for _ in range(trials):
+            sample1 = [rng.uniform(0, 1) for _ in range(12)]
+            sample2 = [rng.uniform(0, 1) for _ in range(30)]
+            if rank_sum_test(sample1, sample2).first_is_larger:
+                flagged += 1
+        # Type-I error should be close to alpha/2 = 2.5%; allow generous slack.
+        assert flagged <= trials * 0.2
+
+    def test_small_sample_statistic_positive_only_when_dominant(self):
+        dominant = rank_sum_test([50.0, 60.0, 70.0], [1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        weak = rank_sum_test([1.0, 2.0, 3.0], [4.0, 5.0, 6.0, 7.0, 8.0, 9.0])
+        assert dominant.statistic > weak.statistic
+        assert not weak.first_is_larger
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            rank_sum_test([], [1.0])
+        with pytest.raises(ValueError):
+            rank_sum_test([1.0], [])

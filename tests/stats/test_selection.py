@@ -1,0 +1,82 @@
+"""Unit tests for the selection (quickselect / median) substrate."""
+
+import random
+
+import pytest
+
+from repro.stats.selection import kth_largest, median, select, top_values
+
+
+class TestSelect:
+    def test_select_matches_sorted_order(self):
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        for rank in range(len(values)):
+            assert select(values, rank) == sorted(values)[rank]
+
+    def test_select_does_not_mutate_input(self):
+        values = [3.0, 1.0, 2.0]
+        select(values, 1)
+        assert values == [3.0, 1.0, 2.0]
+
+    def test_select_with_duplicates(self):
+        values = [2.0, 2.0, 2.0, 1.0, 3.0]
+        assert select(values, 0) == 1.0
+        assert select(values, 4) == 3.0
+        assert select(values, 2) == 2.0
+
+    def test_select_single_element(self):
+        assert select([42.0], 0) == 42.0
+
+    def test_select_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            select([], 0)
+        with pytest.raises(ValueError):
+            select([1.0], 1)
+        with pytest.raises(ValueError):
+            select([1.0], -1)
+
+    def test_select_random_agreement_with_sort(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            values = [rng.uniform(-100, 100) for _ in range(rng.randint(1, 60))]
+            rank = rng.randrange(len(values))
+            assert select(values, rank) == sorted(values)[rank]
+
+
+class TestKthLargestAndMedian:
+    def test_kth_largest(self):
+        values = [10.0, 40.0, 20.0, 30.0]
+        assert kth_largest(values, 1) == 40.0
+        assert kth_largest(values, 4) == 10.0
+
+    def test_kth_largest_out_of_range(self):
+        with pytest.raises(ValueError):
+            kth_largest([1.0], 2)
+        with pytest.raises(ValueError):
+            kth_largest([1.0], 0)
+
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even_is_lower_median(self):
+        assert median([4.0, 1.0, 3.0, 2.0]) == 2.0
+
+    def test_median_empty(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestTopValues:
+    def test_plain_values(self):
+        assert top_values([1, 5, 3], 2) == [5, 3]
+
+    def test_with_key(self):
+        records = [{"v": 1}, {"v": 9}, {"v": 4}]
+        best = top_values(records, 2, key=lambda r: r["v"])
+        assert [r["v"] for r in best] == [9, 4]
+
+    def test_count_larger_than_input(self):
+        assert top_values([2, 1], 10) == [2, 1]
+
+    def test_non_positive_count(self):
+        assert top_values([1, 2, 3], 0) == []

@@ -1,0 +1,55 @@
+"""Unit tests for the 3-sigma equation solvers (η, ζ*, ζ_max)."""
+
+import math
+
+import pytest
+
+from repro.stats.solvers import eta_for_k, eta_k, zeta_max, zeta_star
+
+
+class TestZetaStar:
+    @pytest.mark.parametrize("k", [1, 2, 5, 10, 50, 100, 1000])
+    def test_zeta_star_satisfies_three_sigma(self, k):
+        zs = zeta_star(k)
+        # (ζ − k)/√ζ ≥ 3 for the returned integer and < 3 just below it.
+        assert (zs - k) / math.sqrt(zs) >= 3.0 - 1e-9
+        assert (zs - 1 - k) / math.sqrt(zs - 1) < 3.0 or zs - 1 <= k
+
+    def test_zeta_star_exceeds_k(self):
+        for k in [1, 10, 100]:
+            assert zeta_star(k) > k
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            zeta_star(0)
+
+
+class TestZetaMax:
+    @pytest.mark.parametrize("k", [1, 5, 10, 100])
+    def test_zeta_max_above_zeta_star(self, k):
+        assert zeta_max(k) > zeta_star(k)
+
+    def test_zeta_max_satisfies_three_sigma(self):
+        k = 10
+        zs, zm = zeta_star(k), zeta_max(k)
+        assert (zm - zs) / math.sqrt(zs) >= 3.0 - 1e-9
+
+
+class TestEta:
+    @pytest.mark.parametrize("k", [1, 5, 10, 100, 1000])
+    def test_eta_times_k_satisfies_three_sigma(self, k):
+        eta = eta_for_k(k)
+        x = eta * k
+        assert abs((x - k) / math.sqrt(x) - 3.0) < 1e-9
+
+    def test_eta_decreases_with_k(self):
+        assert eta_for_k(10) > eta_for_k(100) > eta_for_k(1000)
+
+    def test_eta_always_above_one(self):
+        for k in [1, 10, 100, 10_000]:
+            assert eta_for_k(k) > 1.0
+
+    def test_eta_k_matches_zeta_star(self):
+        # ηk solves the same equation as ζ*, so the ceilings agree.
+        for k in [1, 7, 64, 500]:
+            assert eta_k(k) == zeta_star(k)

@@ -1,0 +1,65 @@
+"""Unit tests for the CSV stream loader."""
+
+import pytest
+
+from repro.core.query import TopKQuery
+from repro.core.framework import SAPTopK
+from repro.baselines.brute_force import BruteForceTopK
+from repro.core.result import results_agree
+from repro.streams.io import CSVStream
+
+
+@pytest.fixture
+def trades_csv(tmp_path):
+    path = tmp_path / "trades.csv"
+    lines = ["time,price,volume"]
+    for t in range(120):
+        lines.append(f"{t * 2},{10 + (t % 7)},{100 + t}")
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestCSVStream:
+    def test_requires_exactly_one_score_source(self, trades_csv):
+        with pytest.raises(ValueError):
+            CSVStream(trades_csv)
+        with pytest.raises(ValueError):
+            CSVStream(trades_csv, score_column="price", preference=lambda row: 1.0)
+
+    def test_score_column(self, trades_csv):
+        stream = CSVStream(trades_csv, score_column="price")
+        objects = stream.take(5)
+        assert [o.score for o in objects] == [10.0, 11.0, 12.0, 13.0, 14.0]
+        assert [o.t for o in objects] == [0, 1, 2, 3, 4]
+
+    def test_preference_function(self, trades_csv):
+        stream = CSVStream(
+            trades_csv, preference=lambda row: float(row["price"]) * float(row["volume"])
+        )
+        first = stream.take(1)[0]
+        assert first.score == 10.0 * 100.0
+        assert first.payload["volume"] == "100"
+
+    def test_timestamp_column(self, trades_csv):
+        stream = CSVStream(trades_csv, score_column="price", timestamp_column="time")
+        objects = stream.take(3)
+        assert [o.timestamp for o in objects] == [0, 2, 4]
+        assert [o.arrival_time for o in objects] == [0, 2, 4]
+
+    def test_missing_score_column(self, trades_csv):
+        stream = CSVStream(trades_csv, score_column="nope")
+        with pytest.raises(KeyError):
+            stream.take(1)
+
+    def test_take_without_count_reads_everything(self, trades_csv):
+        assert len(CSVStream(trades_csv, score_column="price").take()) == 120
+
+    def test_end_to_end_query_over_csv(self, trades_csv):
+        stream = CSVStream(
+            trades_csv, preference=lambda row: float(row["price"]) * float(row["volume"])
+        )
+        objects = stream.take()
+        query = TopKQuery(n=40, k=3, s=10)
+        assert results_agree(
+            SAPTopK(query).run(objects), BruteForceTopK(query).run(objects)
+        )

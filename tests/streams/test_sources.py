@@ -1,0 +1,141 @@
+"""Unit tests for stream sources and the dataset registry."""
+
+import pytest
+
+from repro.core.object import StreamObject
+from repro.streams import (
+    ListSource,
+    PlanetStream,
+    RandomWalkStream,
+    StockStream,
+    TimeCorrelatedStream,
+    TripStream,
+    UncorrelatedStream,
+    dataset_names,
+    make_dataset,
+    materialise,
+)
+
+
+ALL_GENERATORS = [
+    StockStream(seed=1),
+    TripStream(seed=1),
+    PlanetStream(seed=1),
+    TimeCorrelatedStream(period=100, seed=1),
+    UncorrelatedStream(seed=1),
+    RandomWalkStream(seed=1),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("source", ALL_GENERATORS, ids=lambda s: s.name)
+    def test_produces_requested_count(self, source):
+        objects = source.take(250)
+        assert len(objects) == 250
+
+    @pytest.mark.parametrize("source", ALL_GENERATORS, ids=lambda s: s.name)
+    def test_arrival_orders_sequential(self, source):
+        objects = source.take(100)
+        assert [o.t for o in objects] == list(range(100))
+
+    @pytest.mark.parametrize("source", ALL_GENERATORS, ids=lambda s: s.name)
+    def test_deterministic_for_fixed_seed(self, source):
+        first = [o.score for o in source.take(50)]
+        second = [o.score for o in source.take(50)]
+        assert first == second
+
+    @pytest.mark.parametrize("source", ALL_GENERATORS, ids=lambda s: s.name)
+    def test_scores_are_finite_floats(self, source):
+        for obj in source.take(200):
+            assert isinstance(obj.score, float)
+            assert obj.score == obj.score  # not NaN
+            assert abs(obj.score) < 1e12
+
+
+class TestListSourceAndMaterialise:
+    def test_list_source_scores(self):
+        source = ListSource([3, 1, 2])
+        objects = source.take(10)
+        assert [o.score for o in objects] == [3.0, 1.0, 2.0]
+        assert len(source) == 3
+
+    def test_list_source_with_preference(self):
+        source = ListSource([{"v": 2}, {"v": 5}], preference=lambda r: r["v"] * 10)
+        assert [o.score for o in source.take(2)] == [20.0, 50.0]
+
+    def test_materialise_assigns_sequential_t(self):
+        objects = materialise([1.0, 2.0], start_t=5)
+        assert [(o.score, o.t) for o in objects] == [(1.0, 5), (2.0, 6)]
+
+
+class TestDistributionShapes:
+    def test_timer_scores_follow_sine(self):
+        import math
+
+        source = TimeCorrelatedStream(period=100, noise=0.0)
+        objects = source.take(200)
+        assert objects[50].score == pytest.approx(math.sin(math.pi * 0.5))
+        assert objects[150].score == pytest.approx(math.sin(math.pi * 1.5))
+
+    def test_timer_contains_monotone_runs(self):
+        source = TimeCorrelatedStream(period=400, noise=0.0)
+        objects = source.take(400)
+        first_quarter = [o.score for o in objects[:100]]
+        assert first_quarter == sorted(first_quarter)
+
+    def test_timeu_scores_within_bounds(self):
+        source = UncorrelatedStream(low=10.0, high=20.0, seed=2)
+        assert all(10.0 <= o.score <= 20.0 for o in source.take(500))
+
+    def test_stock_scores_positive_and_heavy_tailed(self):
+        objects = StockStream(seed=3).take(2000)
+        scores = sorted(o.score for o in objects)
+        assert scores[0] > 0
+        # Heavy tail: the max is far above the median.
+        assert scores[-1] > 10 * scores[len(scores) // 2]
+
+    def test_trip_scores_are_positive_speeds(self):
+        assert all(o.score > 0 for o in TripStream(seed=4).take(1000))
+
+    def test_planet_scores_are_distances(self):
+        assert all(o.score >= 0 for o in PlanetStream(seed=5).take(1000))
+
+    def test_payloads_attached(self):
+        stock = StockStream(seed=6).take(5)[0]
+        assert stock.payload is not None and stock.payload.price > 0
+        trip = TripStream(seed=6).take(5)[0]
+        assert trip.payload.dropoff_time > trip.payload.pickup_time
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TimeCorrelatedStream(period=0)
+        with pytest.raises(ValueError):
+            UncorrelatedStream(low=1.0, high=1.0)
+        with pytest.raises(ValueError):
+            RandomWalkStream(low=5.0, high=5.0)
+        with pytest.raises(ValueError):
+            StockStream(stocks=0)
+        with pytest.raises(ValueError):
+            TripStream(taxis=0)
+        with pytest.raises(ValueError):
+            PlanetStream(clusters=0)
+
+
+class TestRegistry:
+    def test_names_match_paper(self):
+        assert dataset_names() == ["STOCK", "TRIP", "PLANET", "TIMEU", "TIMER"]
+
+    def test_make_dataset_case_insensitive(self):
+        assert make_dataset("stock").name == "STOCK"
+
+    def test_make_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            make_dataset("does-not-exist")
+
+    def test_all_registered_datasets_generate(self):
+        for name in dataset_names():
+            objects = make_dataset(name).take(50)
+            assert len(objects) == 50
+            assert all(isinstance(o, StreamObject) for o in objects)
