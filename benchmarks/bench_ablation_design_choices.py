@@ -13,31 +13,28 @@ import pytest
 
 from repro.bench.reporting import format_table, write_results
 from repro.bench.workloads import dataset_stream
-from repro.core.framework import SAPTopK
 from repro.core.query import TopKQuery
-from repro.partitioning import EnhancedDynamicPartitioner, EqualPartitioner
+from repro.registry import get_algorithm
 from repro.runner.engine import run_algorithm
 
 from conftest import run_sweep
 
 DATASETS = ["TIMEU", "TIMER"]
 
+# Every configuration is a registry entry plus ablation options: the
+# registry factories accept the SAP keyword arguments (meaningful_policy,
+# use_savl) and forward them to the framework.
+_sap_equal = get_algorithm("SAP-equal").factory
+_sap_enhanced = get_algorithm("SAP-enhanced").factory
+
 CONFIGURATIONS = {
-    "equal / lazy / S-AVL": lambda q: SAPTopK(q, partitioner=EqualPartitioner()),
-    "equal / lazy / rescan": lambda q: SAPTopK(
-        q, partitioner=EqualPartitioner(), use_savl=False
-    ),
-    "equal / eager / S-AVL": lambda q: SAPTopK(
-        q, partitioner=EqualPartitioner(), meaningful_policy="eager"
-    ),
-    "equal / amortized / S-AVL": lambda q: SAPTopK(
-        q, partitioner=EqualPartitioner(), meaningful_policy="amortized"
-    ),
-    "enhanced / lazy / S-AVL": lambda q: SAPTopK(
-        q, partitioner=EnhancedDynamicPartitioner()
-    ),
-    "enhanced / amortized / S-AVL": lambda q: SAPTopK(
-        q, partitioner=EnhancedDynamicPartitioner(), meaningful_policy="amortized"
+    "equal / lazy / S-AVL": _sap_equal,
+    "equal / lazy / rescan": lambda q: _sap_equal(q, use_savl=False),
+    "equal / eager / S-AVL": lambda q: _sap_equal(q, meaningful_policy="eager"),
+    "equal / amortized / S-AVL": lambda q: _sap_equal(q, meaningful_policy="amortized"),
+    "enhanced / lazy / S-AVL": _sap_enhanced,
+    "enhanced / amortized / S-AVL": lambda q: _sap_enhanced(
+        q, meaningful_policy="amortized"
     ),
 }
 

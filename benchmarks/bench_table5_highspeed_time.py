@@ -9,16 +9,15 @@ scale's high-speed parameters.
 
 import pytest
 
-from repro.baselines import MinTopK
 from repro.bench.experiments import measure_algorithms
 from repro.bench.reporting import format_table, write_results
-from repro.core.framework import SAPTopK
 from repro.core.query import TopKQuery
+from repro.registry import algorithm_factories
 
 from conftest import run_sweep
 
 DATASETS = ["STOCK", "TRIP", "PLANET", "TIMEU", "TIMER"]
-FACTORIES = {"SAP": SAPTopK, "MinTopK": MinTopK}
+FACTORIES = algorithm_factories("SAP", "MinTopK")
 
 
 def highspeed_sweep(dataset, scale):

@@ -9,15 +9,14 @@ cache, so this module mostly re-reports their candidate columns.
 
 import pytest
 
-from repro.baselines import KSkybandTopK, MinTopK
 from repro.bench.experiments import sweep_parameter
 from repro.bench.reporting import format_table, write_results
-from repro.core.framework import SAPTopK
+from repro.registry import algorithm_factories
 
 from conftest import run_sweep
 
 DATASETS = ["STOCK", "TRIP", "PLANET", "TIMEU", "TIMER"]
-FACTORIES = {"SAP": SAPTopK, "MinTopK": MinTopK, "k-skyband": KSkybandTopK}
+FACTORIES = algorithm_factories("SAP", "MinTopK", "k-skyband")
 PARAMETERS = ["n", "k", "s"]
 
 

@@ -15,16 +15,7 @@ where DATASET is one of STOCK, TRIP, PLANET, TIMEU, TIMER (default TIMER).
 
 import sys
 
-from repro import (
-    BruteForceTopK,
-    KSkybandTopK,
-    MinTopK,
-    SAPTopK,
-    SMATopK,
-    TopKQuery,
-    compare_algorithms,
-)
-from repro.partitioning import DynamicPartitioner, EnhancedDynamicPartitioner, EqualPartitioner
+from repro import TopKQuery, algorithm_factories, compare_algorithms
 from repro.streams import make_dataset
 
 
@@ -33,15 +24,19 @@ def main() -> None:
     stream = make_dataset(dataset).take(8000)
     query = TopKQuery(n=1000, k=20, s=50)
 
-    factories = [
-        BruteForceTopK,
-        lambda q: SAPTopK(q, partitioner=EqualPartitioner()),
-        lambda q: SAPTopK(q, partitioner=DynamicPartitioner()),
-        lambda q: SAPTopK(q, partitioner=EnhancedDynamicPartitioner()),
-        MinTopK,
-        SMATopK,
-        KSkybandTopK,
-    ]
+    # Every configuration comes from the unified registry; the brute-force
+    # oracle goes first so it serves as the agreement reference.
+    factories = list(
+        algorithm_factories(
+            "brute-force",
+            "SAP-equal",
+            "SAP-dynamic",
+            "SAP-enhanced",
+            "MinTopK",
+            "SMA",
+            "k-skyband",
+        ).values()
+    )
 
     print(f"dataset  : {dataset} ({len(stream)} objects)")
     print(f"query    : {query.describe()}")

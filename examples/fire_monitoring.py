@@ -18,9 +18,8 @@ import random
 from collections import Counter
 from dataclasses import dataclass
 
-from repro import SAPTopK, TopKQuery, make_query
+from repro import QuerySpec, StreamEngine
 from repro.core.object import StreamObject
-from repro.core.window import slides_for_query
 
 
 @dataclass(frozen=True)
@@ -54,38 +53,43 @@ def generate_readings(count: int, regions: int = 60, seed: int = 11):
 
 
 def main() -> None:
-    query = make_query(n=5000, k=10, s=250, preference=fire_risk)
-    readings = list(generate_readings(20_000))
-
-    algorithm = SAPTopK(query)
+    # The ten most at-risk readings of the last 5,000 measurements,
+    # refreshed every 250 readings.
+    spec = QuerySpec().window(5000).top(10).slide(250).scored_by(fire_risk)
     persistent = Counter()
-    final = None
-    print(f"query: {query.describe()}\n")
 
-    for event in slides_for_query(readings, query):
-        result = algorithm.process_slide(event)
-        final = result
+    def check_alerts(name: str, result) -> None:
+        """Alert for regions in the answer for 10 consecutive checks."""
         regions_in_answer = {obj.payload.region for obj in result}
         for region in regions_in_answer:
             persistent[region] += 1
-        # Alert for regions present in the answer for 10 consecutive checks.
-        alerts = [r for r in regions_in_answer if persistent[r] == 10]
-        for region in alerts:
+        for region in (r for r in regions_in_answer if persistent[r] == 10):
             worst = max(
                 (o for o in result if o.payload.region == region),
                 key=lambda o: o.score,
             )
             print(
-                f"ALERT after window #{event.index}: region {region:>2} persistently "
-                f"at risk (temp {worst.payload.temperature_c:.1f}°C, "
+                f"ALERT after window #{result.slide_index}: region {region:>2} "
+                f"persistently at risk (temp {worst.payload.temperature_c:.1f}°C, "
                 f"humidity {worst.payload.humidity_pct:.0f}%, risk {worst.score:.1f})"
             )
         for region in list(persistent):
             if region not in regions_in_answer:
                 del persistent[region]
 
+    engine = StreamEngine()
+    fire = engine.subscribe(
+        "fire", spec, algorithm="SAP", result_buffer=1, on_result=check_alerts
+    )
+    print(f"query: {fire.query.describe()}\n")
+
+    # The sensor feed is a generator: the engine consumes it one reading at
+    # a time and never holds more than one window of it.
+    engine.push_many(generate_readings(20_000))
+    engine.close()
+
     print("\nFinal top-risk readings:")
-    for rank, obj in enumerate(final, start=1):
+    for rank, obj in enumerate(fire.latest(), start=1):
         reading = obj.payload
         print(
             f"  #{rank:<2} region {reading.region:>2}  "

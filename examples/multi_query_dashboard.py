@@ -3,44 +3,45 @@
 A monitoring dashboard rarely shows a single view: a trader may watch the
 top-5 transactions of the last minute, the top-20 of the last hour, and a
 tumbling per-day leaderboard at the same time.  The
-:class:`repro.MultiQueryEngine` feeds every stream object exactly once and
-lets each registered query slide its own window.
+:class:`repro.StreamEngine` feeds every stream object exactly once and lets
+each subscribed query slide its own window — any registered algorithm can
+back any view.
 
 Run with::
 
     python examples/multi_query_dashboard.py
 """
 
-from repro import MultiQueryEngine, SAPTopK, TopKQuery
+from repro import QuerySpec, StreamEngine
 from repro.streams import StockStream
 
 
 def main() -> None:
-    stream = StockStream(stocks=200, seed=5).take(12_000)
-
-    engine = MultiQueryEngine()
+    engine = StreamEngine()
     views = {
-        "last-minute top-5": TopKQuery(n=500, k=5, s=100),
-        "last-hour top-20": TopKQuery(n=5000, k=20, s=500),
-        "per-day leaderboard": TopKQuery(n=2000, k=10, s=2000),
+        "last-minute top-5": QuerySpec(n=500, k=5, s=100),
+        "last-hour top-20": QuerySpec(n=5000, k=20, s=500),
+        "per-day leaderboard": QuerySpec(n=2000, k=10, s=2000),
     }
-    for name, query in views.items():
-        engine.register(name, SAPTopK(query))
+    for name, spec in views.items():
+        engine.subscribe(name, spec, algorithm="SAP", result_buffer=1)
 
-    answers = engine.run(stream)
+    # One pass over the feed serves every view; nothing is materialised.
+    StockStream(stocks=200, seed=5).feed(engine, 12_000)
 
     print("dashboard views fed by a single pass over the stream\n")
-    for name, query in views.items():
-        results = answers[name]
-        final = results[-1]
+    for name in engine.subscriptions():
+        view = engine.subscription(name)
+        final = view.latest()
         best = final.objects[0]
-        print(f"{name:<22} ({query.describe()})")
-        print(f"  refreshed {len(results)} times; "
+        print(f"{name:<22} ({view.query.describe()})")
+        print(f"  refreshed {view.results_delivered} times; "
               f"current best trade value {best.score:,.0f} "
               f"(stock {best.payload.stock_id})")
-        algorithm = engine.algorithm(name)
-        print(f"  SAP kept {algorithm.candidate_count()} candidates; "
-              f"stats: {algorithm.stats.as_dict()}\n")
+        print(f"  SAP kept {view.algorithm.candidate_count()} candidates; "
+              f"stats: {view.algorithm.stats.as_dict()}\n")
+
+    engine.close()
 
 
 if __name__ == "__main__":

@@ -4,39 +4,58 @@ Run with::
 
     python examples/quickstart.py
 
-The example builds a continuous top-k query ``⟨n=1000, k=5, s=50⟩``, streams
-5,000 uniformly random objects through the SAP framework, and prints the
-answer every few window slides.
+The example builds a continuous top-k query ``⟨n=1000, k=5, s=50⟩`` with
+the :class:`QuerySpec` builder, subscribes it on the push-based
+:class:`StreamEngine`, and streams 5,000 uniformly random objects through
+it — one at a time, the way an unbounded feed would arrive.  The legacy
+one-shot API (``run_algorithm``) produces identical answers; see the
+commented block at the end.
 """
 
-from repro import SAPTopK, TopKQuery, run_algorithm
+from repro import QuerySpec, StreamEngine
 from repro.streams import UncorrelatedStream
 
 
 def main() -> None:
     # A continuous top-5 query over the last 1,000 objects, re-evaluated
     # every 50 arrivals.
-    query = TopKQuery(n=1000, k=5, s=50)
+    spec = QuerySpec().window(1000).top(5).slide(50)
 
-    # Any iterable of StreamObject works; here we use the synthetic
-    # "time-unrelated" stream from the paper's evaluation.
-    stream = UncorrelatedStream(seed=7).take(5000)
+    engine = StreamEngine()
+    watch = engine.subscribe("watch", spec, algorithm="SAP")
 
-    algorithm = SAPTopK(query)
-    report = run_algorithm(algorithm, stream)
+    # Push the synthetic "time-unrelated" stream from the paper's
+    # evaluation.  feed() never materialises the stream; engine memory
+    # stays O(window) however long it runs.
+    UncorrelatedStream(seed=7).feed(engine, 5000)
 
-    print(f"query     : {query.describe()}")
-    print(f"algorithm : {algorithm.name}")
-    print(f"slides    : {report.slides}")
-    print(f"runtime   : {report.elapsed_seconds:.3f} s")
-    print(f"candidates: {report.average_candidates:.1f} on average "
-          f"(window holds {query.n} objects)")
+    stats = watch.stats()
+    print(f"query     : {watch.query.describe()}")
+    print(f"algorithm : {watch.algorithm.name}")
+    print(f"slides    : {stats['slides']:.0f}")
+    print(f"candidates: {stats['average_candidates']:.1f} on average "
+          f"(window holds {watch.query.n} objects)")
+    print(f"latency   : p50 {stats['median_latency'] * 1e6:.0f} µs, "
+          f"p95 {stats['p95_latency'] * 1e6:.0f} µs per slide")
     print()
 
-    for result in report.results[:: max(1, len(report.results) // 5)]:
+    results = watch.results()
+    for result in results[:: max(1, len(results) // 5)]:
         scores = ", ".join(f"{score:.3f}" for score in result.scores)
         print(f"window #{result.slide_index:>3} (newest arrival t={result.window_end}): "
-              f"top-{query.k} scores = [{scores}]")
+              f"top-5 scores = [{scores}]")
+
+    engine.close()
+
+    # The legacy one-shot API is a thin wrapper over the same engine and
+    # returns identical answers:
+    #
+    #     from repro import SAPTopK, TopKQuery, run_algorithm
+    #     report = run_algorithm(
+    #         SAPTopK(TopKQuery(n=1000, k=5, s=50)),
+    #         UncorrelatedStream(seed=7).take(5000),
+    #     )
+    #     print(report.summary())
 
 
 if __name__ == "__main__":

@@ -16,9 +16,8 @@ Run with::
 import random
 from dataclasses import dataclass
 
-from repro import SAPTopK, TopKQuery
+from repro import QuerySpec, StreamEngine
 from repro.core.object import StreamObject
-from repro.core.window import slides_for_query
 
 
 @dataclass(frozen=True)
@@ -60,27 +59,35 @@ def generate_reports(count: int, segments: int = 40, seed: int = 3):
 def main() -> None:
     # Top-10 congested readings within the last 600 time units, refreshed
     # every 60 time units.
-    query = TopKQuery(n=600, k=10, s=60, time_based=True)
-    feed = list(generate_reports(8000))
+    spec = QuerySpec().window(600).top(10).slide(60).over_time()
 
-    algorithm = SAPTopK(query)
-    print(f"query: {query.describe()}\n")
-
-    for event in slides_for_query(feed, query):
-        result = algorithm.process_slide(event)
-        if event.index % 4:
-            continue
+    def print_congestion(name: str, result) -> None:
+        if result.slide_index % 4:
+            return
         segments = sorted({obj.payload.segment for obj in result})
         worst = result.objects[0]
         print(
-            f"t={event.window_end:>5}  congested segments {segments} — "
+            f"t={result.window_end:>5}  congested segments {segments} — "
             f"worst: segment {worst.payload.segment} "
             f"({worst.payload.speed_kmh:.0f} km/h, "
             f"{worst.payload.vehicles_per_km:.0f} veh/km, index {worst.score:.1f})"
         )
 
-    print(f"\ncandidates kept by SAP at the end: {algorithm.candidate_count()} "
-          f"(window duration {query.n} time units)")
+    engine = StreamEngine()
+    traffic = engine.subscribe(
+        "traffic", spec, algorithm="SAP", keep_results=False,
+        on_result=print_congestion,
+    )
+    print(f"query: {traffic.query.describe()}\n")
+
+    # The RFID feed streams straight into the engine; close() emits the
+    # final (end-of-stream) report of the time-based window.
+    engine.push_many(generate_reports(8000))
+    engine.close()
+
+    snapshot = traffic.snapshot()
+    print(f"\ncandidates kept by SAP at the end: {snapshot['candidate_count']} "
+          f"(window duration {traffic.query.n} time units)")
 
 
 if __name__ == "__main__":

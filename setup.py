@@ -1,0 +1,10 @@
+"""Shim for environments without PEP 517 build tooling.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` on machines with bare setuptools (no ``wheel``,
+no network for build isolation).  Use ``pip install -e .`` when possible.
+"""
+
+from setuptools import setup
+
+setup()

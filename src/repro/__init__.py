@@ -2,15 +2,36 @@
 
 The public API mirrors the paper's structure:
 
-* :class:`repro.TopKQuery` -- the continuous query ``(n, k, s, F)``;
+* :class:`repro.StreamEngine` -- the push-based execution facade: subscribe
+  continuous queries, push stream objects one at a time, consume answers
+  via callbacks or result buffers (O(window) memory on unbounded streams);
+* :class:`repro.QuerySpec` / :class:`repro.TopKQuery` -- the continuous
+  query ``(n, k, s, F)``, as a fluent builder or an immutable tuple;
+* :mod:`repro.registry` -- the single algorithm registry: SAP with its
+  partitioner variants plus the competitors (MinTopK, k-skyband, SMA,
+  brute-force), extensible with :func:`repro.register_algorithm`;
 * :class:`repro.SAPTopK` -- the SAP framework (the paper's contribution),
   configurable with the equal, dynamic, or enhanced dynamic partitioner;
-* :class:`repro.MinTopK`, :class:`repro.KSkybandTopK`, :class:`repro.SMATopK`,
-  :class:`repro.BruteForceTopK` -- the competitors used in the evaluation;
 * :mod:`repro.streams` -- synthetic equivalents of the paper's datasets;
-* :mod:`repro.runner` -- engine, metrics, and agreement checking.
+* :mod:`repro.runner` -- legacy one-shot helpers (:func:`run_algorithm`,
+  :func:`compare_algorithms`, :class:`MultiQueryEngine`), kept as thin
+  wrappers over the engine.
 
-Quickstart::
+Quickstart (push-based, works on unbounded streams)::
+
+    from repro import QuerySpec, StreamEngine
+    from repro.streams import UncorrelatedStream
+
+    engine = StreamEngine()
+    watch = engine.subscribe(
+        "watch", QuerySpec(n=1000, k=10, s=10), algorithm="SAP"
+    )
+    UncorrelatedStream(seed=1).feed(engine, 5000)
+    print(watch.latest().scores)
+    print(watch.stats())
+    engine.close()
+
+Legacy one-shot quickstart (equivalent results)::
 
     from repro import SAPTopK, TopKQuery, run_algorithm
     from repro.streams import UncorrelatedStream
@@ -43,9 +64,17 @@ from .partitioning import (
     EqualPartitioner,
     Partitioner,
 )
+from .registry import (
+    AlgorithmInfo,
+    algorithm_factories,
+    algorithm_names,
+    create_algorithm,
+    register_algorithm,
+)
+from .engine import QuerySpec, StreamEngine, Subscription
 from .runner import MultiQueryEngine, RunReport, compare_algorithms, run_algorithm
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -70,6 +99,15 @@ __all__ = [
     "EqualPartitioner",
     "DynamicPartitioner",
     "EnhancedDynamicPartitioner",
+    "StreamEngine",
+    "QuerySpec",
+    "Subscription",
+    "AlgorithmInfo",
+    "register_algorithm",
+    "create_algorithm",
+    "algorithm_names",
+    "algorithm_factories",
+    "algorithm_registry",
     "RunReport",
     "run_algorithm",
     "compare_algorithms",
@@ -78,13 +116,9 @@ __all__ = [
 
 
 def algorithm_registry():
-    """Factories of every algorithm keyed by the names used in the paper."""
-    return {
-        "SAP": lambda query: SAPTopK(query),
-        "SAP-equal": lambda query: SAPTopK(query, partitioner=EqualPartitioner()),
-        "SAP-dynamic": lambda query: SAPTopK(query, partitioner=DynamicPartitioner()),
-        "MinTopK": MinTopK,
-        "k-skyband": KSkybandTopK,
-        "SMA": SMATopK,
-        "brute-force": BruteForceTopK,
-    }
+    """Factories of every algorithm keyed by the names used in the paper.
+
+    Deprecated alias of :func:`repro.registry.algorithm_factories`; the
+    single source of truth is :mod:`repro.registry`.
+    """
+    return algorithm_factories()

@@ -11,30 +11,30 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..baselines import BruteForceTopK, KSkybandTopK, MinTopK, SMATopK
 from ..core.framework import SAPTopK
 from ..core.interface import ContinuousTopKAlgorithm
 from ..core.query import TopKQuery
-from ..partitioning import DynamicPartitioner, EnhancedDynamicPartitioner, EqualPartitioner
+from ..partitioning import EqualPartitioner
+from ..registry import algorithm_factories, get_algorithm
 from ..runner.engine import run_algorithm
 from .workloads import BenchScale, dataset_stream
 
 AlgorithmFactory = Callable[[TopKQuery], ContinuousTopKAlgorithm]
 
 #: The algorithms compared throughout the evaluation section, keyed by the
-#: names used in the paper's figures.
-ALGORITHM_FACTORIES: Dict[str, AlgorithmFactory] = {
-    "SAP": lambda query: SAPTopK(query, partitioner=EnhancedDynamicPartitioner()),
-    "MinTopK": MinTopK,
-    "SMA": SMATopK,
-    "k-skyband": KSkybandTopK,
-}
+#: names used in the paper's figures.  All factories come from the unified
+#: registry (:mod:`repro.registry`); "SAP" there defaults to the enhanced
+#: dynamic partitioner, exactly the configuration the figures evaluate.
+ALGORITHM_FACTORIES: Dict[str, AlgorithmFactory] = algorithm_factories(
+    "SAP", "MinTopK", "SMA", "k-skyband"
+)
 
-#: SAP configurations compared in Tables 2 and 3.
+#: SAP configurations compared in Tables 2 and 3, keyed by the paper's
+#: abbreviations but resolved through the same registry.
 PARTITIONER_FACTORIES: Dict[str, AlgorithmFactory] = {
-    "EQUAL": lambda query: SAPTopK(query, partitioner=EqualPartitioner()),
-    "DYNA": lambda query: SAPTopK(query, partitioner=DynamicPartitioner()),
-    "EN-DYNA": lambda query: SAPTopK(query, partitioner=EnhancedDynamicPartitioner()),
+    "EQUAL": get_algorithm("SAP-equal").factory,
+    "DYNA": get_algorithm("SAP-dynamic").factory,
+    "EN-DYNA": get_algorithm("SAP-enhanced").factory,
 }
 
 
@@ -169,7 +169,8 @@ def oracle_check(dataset: str, scale: BenchScale) -> bool:
     n, k, s = scale.default_query_params()
     query = TopKQuery(n=n, k=k, s=s)
     objects = dataset_stream(dataset, scale.stream_length)
-    outcome = compare_algorithms([BruteForceTopK, SAPTopK], objects, query)
+    factories = algorithm_factories("brute-force", "SAP")
+    outcome = compare_algorithms(list(factories.values()), objects, query)
     return outcome.agree
 
 

@@ -23,28 +23,20 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .baselines import BruteForceTopK, KSkybandTopK, MinTopK, SMATopK
-from .core.framework import SAPTopK
 from .core.interface import ContinuousTopKAlgorithm
 from .core.query import TopKQuery
-from .partitioning import DynamicPartitioner, EnhancedDynamicPartitioner, EqualPartitioner
+from .registry import algorithm_factories, create_algorithm, get_algorithm
 from .runner.comparison import compare_algorithms
 from .runner.engine import run_algorithm
 from .streams import dataset_names, make_dataset
 
 AlgorithmFactory = Callable[[TopKQuery], ContinuousTopKAlgorithm]
 
-#: Algorithms addressable from the command line.
-CLI_ALGORITHMS: Dict[str, AlgorithmFactory] = {
-    "SAP": lambda q: SAPTopK(q),
-    "SAP-equal": lambda q: SAPTopK(q, partitioner=EqualPartitioner()),
-    "SAP-dynamic": lambda q: SAPTopK(q, partitioner=DynamicPartitioner()),
-    "SAP-enhanced": lambda q: SAPTopK(q, partitioner=EnhancedDynamicPartitioner()),
-    "MinTopK": MinTopK,
-    "SMA": SMATopK,
-    "k-skyband": KSkybandTopK,
-    "brute-force": BruteForceTopK,
-}
+#: Algorithms addressable from the command line: every entry of the unified
+#: registry (:mod:`repro.registry`).  Kept as a module attribute for
+#: backward compatibility; algorithms registered after import time are
+#: still resolved because the parser re-reads the registry.
+CLI_ALGORITHMS: Dict[str, AlgorithmFactory] = algorithm_factories()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,7 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run a single algorithm")
     add_common(run_parser)
     run_parser.add_argument(
-        "--algorithm", default="SAP", choices=sorted(CLI_ALGORITHMS), help="algorithm to run"
+        "--algorithm",
+        default="SAP",
+        choices=sorted(algorithm_factories()),
+        help="algorithm to run",
     )
     run_parser.add_argument(
         "--show", type=int, default=5, help="how many of the final top-k objects to print"
@@ -81,7 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms",
         nargs="+",
         default=["SAP", "MinTopK", "k-skyband"],
-        choices=sorted(CLI_ALGORITHMS),
+        choices=sorted(algorithm_factories()),
         help="algorithms to compare (answers are checked for agreement)",
     )
     return parser
@@ -94,7 +89,7 @@ def _query_from_args(args: argparse.Namespace) -> TopKQuery:
 def _command_run(args: argparse.Namespace) -> int:
     query = _query_from_args(args)
     stream = make_dataset(args.dataset).take(args.objects)
-    algorithm = CLI_ALGORITHMS[args.algorithm](query)
+    algorithm = create_algorithm(args.algorithm, query)
     report = run_algorithm(algorithm, stream)
     print(f"dataset   : {args.dataset} ({args.objects} objects)")
     print(f"query     : {query.describe()}")
@@ -110,7 +105,7 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     query = _query_from_args(args)
     stream = make_dataset(args.dataset).take(args.objects)
-    factories = [CLI_ALGORITHMS[name] for name in args.algorithms]
+    factories = [get_algorithm(name).factory for name in args.algorithms]
     outcome = compare_algorithms(factories, stream, query)
     print(f"dataset   : {args.dataset} ({args.objects} objects)")
     print(f"query     : {query.describe()}")

@@ -12,11 +12,11 @@ the algorithm's own structures (excluding the raw stream).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from .query import TopKQuery
 from .result import TopKResult
-from .window import SlideEvent, slides_for_query
+from .window import SlideBatcher, SlideEvent, slides_for_query
 from ..core.object import StreamObject
 
 #: Approximate footprint of one candidate record (object reference, score,
@@ -36,6 +36,7 @@ class ContinuousTopKAlgorithm(ABC):
 
     def __init__(self, query: TopKQuery) -> None:
         self.query = query
+        self._push_batcher: Optional[SlideBatcher] = None
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -55,6 +56,39 @@ class ContinuousTopKAlgorithm(ABC):
     def memory_bytes(self) -> int:
         """Estimated memory footprint of the algorithm's own structures."""
         return self.candidate_count() * OBJECT_FOOTPRINT_BYTES
+
+    # ------------------------------------------------------------------
+    # Push lifecycle
+    # ------------------------------------------------------------------
+    # Algorithms consume slide events, but callers usually hold raw stream
+    # objects.  ``push``/``finish`` bridge the two with an internal slide
+    # batcher so any algorithm can be driven one object at a time; the
+    # :class:`repro.engine.StreamEngine` facade builds on the same model
+    # (with its own batcher, so it can share one pass across queries).
+    def push(self, obj: StreamObject) -> List[TopKResult]:
+        """Feed one stream object; return the answers it completed (0+)."""
+        if self._push_batcher is None:
+            self._push_batcher = SlideBatcher(self.query)
+        return [self.process_slide(event) for event in self._push_batcher.push(obj)]
+
+    def finish(self) -> List[TopKResult]:
+        """Signal end-of-stream: emit a time-based window's final report."""
+        if self._push_batcher is None:
+            return []
+        return [self.process_slide(event) for event in self._push_batcher.flush()]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time description of the algorithm's state."""
+        return {
+            "algorithm": self.name,
+            "query": self.query.describe(),
+            "candidate_count": self.candidate_count(),
+            "memory_bytes": self.memory_bytes(),
+        }
+
+    def close(self) -> None:
+        """Release per-run resources.  The default implementation is a no-op
+        hook; algorithms holding external resources override it."""
 
     # ------------------------------------------------------------------
     def run(self, objects: Iterable[StreamObject]) -> List[TopKResult]:

@@ -1,0 +1,112 @@
+"""Metric collection for the paper's three performance measures.
+
+The evaluation section of the paper reports, for every algorithm:
+
+* total running time over the whole stream,
+* the average size of the candidate set, sampled every time the window
+  slides (Appendix E),
+* the memory consumed by the algorithm's own structures (Appendix F).
+
+:class:`MetricsCollector` samples the latter two after every slide and keeps
+simple aggregates so that benchmarks never retain per-slide lists for very
+long streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+def bytes_to_kb(value: float) -> float:
+    """Convert a byte count to kilobytes (the unit used by the paper)."""
+    return value / 1024.0
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty list (fraction in [0, 1])."""
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+#: Cap on retained per-slide latency samples.  Once reached, the sample is
+#: decimated (every other value dropped, stride doubled), so the collector
+#: stays O(1) in stream length while the percentile estimates remain
+#: representative.  Totals and maxima are exact regardless.
+LATENCY_SAMPLE_CAP = 8192
+
+
+@dataclass
+class MetricsCollector:
+    """Streaming aggregates of candidate counts, memory usage, and latency.
+
+    The paper reports total running time; a production consumer also cares
+    about the per-slide latency distribution (a window slide must be
+    answered before the next one arrives), so the collector optionally
+    retains a bounded sample of per-slide latencies and exposes p50/p95,
+    plus exact running totals and maxima.
+    """
+
+    slides: int = 0
+    candidate_total: float = 0.0
+    candidate_max: int = 0
+    memory_total: float = 0.0
+    memory_max: int = 0
+    latency_total: float = 0.0
+    latency_max: float = 0.0
+    latencies: List[float] = field(default_factory=list, repr=False)
+    _latency_seen: int = field(default=0, repr=False)
+    _latency_stride: int = field(default=1, repr=False)
+
+    def record(
+        self,
+        candidate_count: int,
+        memory_bytes: int,
+        latency_seconds: Optional[float] = None,
+    ) -> None:
+        self.slides += 1
+        self.candidate_total += candidate_count
+        self.candidate_max = max(self.candidate_max, candidate_count)
+        self.memory_total += memory_bytes
+        self.memory_max = max(self.memory_max, memory_bytes)
+        if latency_seconds is not None:
+            self.latency_total += latency_seconds
+            self.latency_max = max(self.latency_max, latency_seconds)
+            self._latency_seen += 1
+            if self._latency_seen % self._latency_stride == 0:
+                self.latencies.append(latency_seconds)
+                if len(self.latencies) >= LATENCY_SAMPLE_CAP:
+                    self.latencies = self.latencies[::2]
+                    self._latency_stride *= 2
+
+    @property
+    def average_candidates(self) -> float:
+        return self.candidate_total / self.slides if self.slides else 0.0
+
+    @property
+    def average_memory_bytes(self) -> float:
+        return self.memory_total / self.slides if self.slides else 0.0
+
+    @property
+    def average_memory_kb(self) -> float:
+        return bytes_to_kb(self.average_memory_bytes)
+
+    # ------------------------------------------------------------------
+    # Per-slide latency distribution
+    # ------------------------------------------------------------------
+    @property
+    def median_latency(self) -> float:
+        return percentile(self.latencies, 0.5) if self.latencies else 0.0
+
+    @property
+    def p95_latency(self) -> float:
+        return percentile(self.latencies, 0.95) if self.latencies else 0.0
+
+    @property
+    def max_latency(self) -> float:
+        return self.latency_max

@@ -138,6 +138,10 @@ class SlideBatcher:
         self._report_time = None
         return [event]
 
+    def window_size(self) -> int:
+        """Number of stream objects currently held by the window."""
+        return len(self._window)
+
     # ------------------------------------------------------------------
     def _push_count_based(self, obj: StreamObject) -> List[SlideEvent]:
         self._window.append(obj)

@@ -1,0 +1,243 @@
+"""Push-based facade over every continuous top-k algorithm in the library.
+
+:class:`StreamEngine` is the single execution path of the reproduction:
+the one-shot :func:`repro.run_algorithm`, the comparison helper, the
+multi-query engine, the CLI, and the benchmarks all drive it.  Callers
+describe queries with :class:`~repro.engine.spec.QuerySpec` (or a plain
+:class:`~repro.core.query.TopKQuery`), attach any algorithm registered in
+:mod:`repro.registry` by name, and push stream objects one at a time::
+
+    engine = StreamEngine()
+    fire = engine.subscribe("fire", QuerySpec(n=5000, k=10, s=100), algorithm="SAP")
+    for obj in sensor_feed:           # unbounded — never materialised
+        engine.push(obj)
+        for result in fire.drain():
+            alert(result)
+    engine.close()
+
+Memory stays O(window) per subscription: the engine holds one partially
+filled slide batcher per query and whatever answers the caller asked it to
+retain — nothing else.  ``push_many`` consumes any iterable lazily, so a
+generator of millions of objects flows through in constant space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
+
+from ..core.exceptions import AlgorithmStateError
+from ..core.interface import ContinuousTopKAlgorithm
+from ..core.object import StreamObject
+from ..core.query import TopKQuery
+from ..core.result import TopKResult
+from ..registry import create_algorithm
+from .spec import QuerySpec, resolve_query
+from .subscription import ResultCallback, Subscription
+
+#: What ``subscribe`` accepts as the algorithm: a registry name, a ready
+#: instance, or any factory/class called as ``factory(query, **options)``.
+AlgorithmLike = Union[str, ContinuousTopKAlgorithm, Callable[..., ContinuousTopKAlgorithm]]
+
+
+class StreamEngine:
+    """Shared, push-based execution of any number of continuous queries."""
+
+    def __init__(self, *, keep_results: bool = True) -> None:
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._default_keep_results = keep_results
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        name: str,
+        spec: Union[QuerySpec, TopKQuery, None] = None,
+        algorithm: AlgorithmLike = "SAP",
+        *,
+        keep_results: Optional[bool] = None,
+        result_buffer: Optional[int] = None,
+        collect_metrics: bool = True,
+        on_result: Optional[ResultCallback] = None,
+        **algorithm_options: object,
+    ) -> Subscription:
+        """Register a continuous query and return its subscription handle.
+
+        Parameters
+        ----------
+        name:
+            Unique identifier of the query on this engine.
+        spec:
+            The query, as a :class:`QuerySpec` builder or a ready
+            :class:`TopKQuery`.  May be omitted when ``algorithm`` is an
+            instance (the instance already knows its query).
+        algorithm:
+            A name from :mod:`repro.registry` (default ``"SAP"``), an
+            algorithm instance, or a factory called as
+            ``factory(query, **algorithm_options)``.
+        keep_results / result_buffer:
+            Retention policy for answers: ``keep_results=False`` retains
+            nothing (callbacks still fire), ``result_buffer=b`` keeps only
+            the ``b`` most recent answers.  The default retains everything,
+            matching the legacy one-shot API.
+        collect_metrics:
+            Record candidate counts, memory, and per-slide latency.
+        on_result:
+            Optional callback invoked as ``callback(name, result)`` for
+            every answer.
+        """
+        self._ensure_open()
+        if name in self._subscriptions:
+            raise ValueError(f"query {name!r} is already subscribed")
+
+        instance = self._resolve_algorithm(spec, algorithm, algorithm_options)
+        subscription = Subscription(
+            name,
+            instance,
+            keep_results=self._default_keep_results if keep_results is None else keep_results,
+            result_buffer=result_buffer,
+            collect_metrics=collect_metrics,
+        )
+        if on_result is not None:
+            subscription.on_result(on_result)
+        self._subscriptions[name] = subscription
+        return subscription
+
+    def unsubscribe(self, name: str) -> None:
+        """Close and remove one query."""
+        subscription = self._subscriptions.pop(name, None)
+        if subscription is None:
+            raise KeyError(f"no subscription named {name!r}")
+        subscription.close()
+
+    def subscription(self, name: str) -> Subscription:
+        try:
+            return self._subscriptions[name]
+        except KeyError:
+            raise KeyError(
+                f"no subscription named {name!r}; active: {sorted(self._subscriptions)}"
+            ) from None
+
+    def subscriptions(self) -> List[str]:
+        """Names of every subscription, in registration order."""
+        return list(self._subscriptions)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._subscriptions
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def push(self, obj: StreamObject) -> Dict[str, List[TopKResult]]:
+        """Feed one object to every open subscription.
+
+        Returns, per query name, the answers (possibly none) whose windows
+        were completed by this object.
+        """
+        self._ensure_open()
+        if not self._subscriptions:
+            raise ValueError("no queries subscribed")
+        produced: Dict[str, List[TopKResult]] = {}
+        for subscription in self._subscriptions.values():
+            new_results = subscription._process(obj)
+            if new_results:
+                produced[subscription.name] = new_results
+        return produced
+
+    def push_many(self, objects: Iterable[StreamObject]) -> int:
+        """Feed any iterable of objects, lazily; return how many were pushed.
+
+        The iterable is never materialised — a generator of arbitrarily many
+        objects streams through in O(window) memory.
+        """
+        count = 0
+        for obj in objects:
+            self.push(obj)
+            count += 1
+        return count
+
+    def flush(self) -> Dict[str, List[TopKResult]]:
+        """Emit the end-of-stream report of time-based windows (if any)."""
+        self._ensure_open()
+        produced: Dict[str, List[TopKResult]] = {}
+        for subscription in self._subscriptions.values():
+            new_results = subscription._flush()
+            if new_results:
+                produced[subscription.name] = new_results
+        return produced
+
+    # ------------------------------------------------------------------
+    # Reading answers and state
+    # ------------------------------------------------------------------
+    def results(self, name: str) -> List[TopKResult]:
+        """Retained answers of one query (see ``keep_results``)."""
+        return self.subscription(name).results()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Point-in-time state of every subscription, keyed by name."""
+        return {name: sub.snapshot() for name, sub in self._subscriptions.items()}
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate performance statistics of every subscription."""
+        return {name: sub.stats() for name, sub in self._subscriptions.items()}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> Dict[str, List[TopKResult]]:
+        """Flush pending time-based reports, then close every subscription.
+
+        Returns the answers produced by the final flush.  Closing twice is
+        a no-op; pushing after close raises :class:`AlgorithmStateError`.
+        """
+        if self._closed:
+            return {}
+        produced = self.flush()
+        for subscription in self._subscriptions.values():
+            subscription.close()
+        self._closed = True
+        return produced
+
+    def __enter__(self) -> "StreamEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise AlgorithmStateError("the engine is closed")
+
+    @staticmethod
+    def _resolve_algorithm(
+        spec: Union[QuerySpec, TopKQuery, None],
+        algorithm: AlgorithmLike,
+        options: Dict[str, object],
+    ) -> ContinuousTopKAlgorithm:
+        if isinstance(algorithm, ContinuousTopKAlgorithm):
+            if options:
+                raise ValueError(
+                    "algorithm options cannot be applied to a ready instance: "
+                    f"{sorted(options)}"
+                )
+            if spec is not None and resolve_query(spec) != algorithm.query:
+                raise ValueError(
+                    "the given spec disagrees with the algorithm instance's query; "
+                    "omit the spec or build the instance from it"
+                )
+            return algorithm
+        if spec is None:
+            raise ValueError("a QuerySpec (or TopKQuery) is required")
+        query = resolve_query(spec)
+        if isinstance(algorithm, str):
+            return create_algorithm(algorithm, query, **options)
+        return algorithm(query, **options)

@@ -1,0 +1,118 @@
+"""Fluent builder for continuous top-k query specifications.
+
+:class:`~repro.core.query.TopKQuery` is an immutable tuple ``⟨n, k, s, F⟩``
+whose constructor validates everything at once.  :class:`QuerySpec` is the
+builder the push-based API uses: callers describe the query incrementally
+and :meth:`QuerySpec.build` produces the validated ``TopKQuery``::
+
+    spec = (
+        QuerySpec()
+        .window(5000)          # n: last 5000 objects ...
+        .top(10)               # k: ... report the best 10 ...
+        .slide(100)            # s: ... every 100 arrivals
+        .scored_by(fire_risk)  # F: preference function
+    )
+    query = spec.build()
+
+``QuerySpec(n=5000, k=10, s=100)`` works too — every fluent method has a
+matching constructor argument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.exceptions import InvalidQueryError
+from ..core.query import PreferenceFunction, TopKQuery, identity_preference
+
+
+class QuerySpec:
+    """Mutable builder producing validated :class:`TopKQuery` instances."""
+
+    def __init__(
+        self,
+        n: Optional[int] = None,
+        k: Optional[int] = None,
+        s: int = 1,
+        preference: Optional[PreferenceFunction] = None,
+        time_based: bool = False,
+    ) -> None:
+        self._n = n
+        self._k = k
+        self._s = s
+        self._preference = preference
+        self._time_based = time_based
+
+    # ------------------------------------------------------------------
+    # Fluent setters (each returns self so calls chain).
+    # ------------------------------------------------------------------
+    def window(self, n: int) -> "QuerySpec":
+        """Window size: an object count, or a duration when time-based."""
+        self._n = n
+        return self
+
+    def top(self, k: int) -> "QuerySpec":
+        """Number of result objects reported at every slide."""
+        self._k = k
+        return self
+
+    def slide(self, s: int) -> "QuerySpec":
+        """Slide size: an arrival count, or a duration when time-based."""
+        self._s = s
+        return self
+
+    def scored_by(self, preference: PreferenceFunction) -> "QuerySpec":
+        """Preference function ``F`` mapping a record to a numeric score."""
+        self._preference = preference
+        return self
+
+    def over_time(self, time_based: bool = True) -> "QuerySpec":
+        """Interpret ``n`` and ``s`` as durations (time-based window)."""
+        self._time_based = time_based
+        return self
+
+    def over_count(self) -> "QuerySpec":
+        """Interpret ``n`` and ``s`` as object counts (the default)."""
+        self._time_based = False
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> TopKQuery:
+        """Validate and freeze the spec into a :class:`TopKQuery`."""
+        if self._n is None:
+            raise InvalidQueryError("QuerySpec is missing the window size: call .window(n)")
+        if self._k is None:
+            raise InvalidQueryError("QuerySpec is missing the result size: call .top(k)")
+        return TopKQuery(
+            n=self._n,
+            k=self._k,
+            s=self._s,
+            preference=self._preference if self._preference is not None else identity_preference,
+            time_based=self._time_based,
+        )
+
+    @classmethod
+    def from_query(cls, query: TopKQuery) -> "QuerySpec":
+        """Builder pre-populated from an existing query."""
+        return cls(
+            n=query.n,
+            k=query.k,
+            s=query.s,
+            preference=query.preference,
+            time_based=query.time_based,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "time-based" if self._time_based else "count-based"
+        return f"QuerySpec(n={self._n}, k={self._k}, s={self._s}, {kind})"
+
+
+def resolve_query(spec: object) -> TopKQuery:
+    """Accept a :class:`TopKQuery` or a :class:`QuerySpec` and return a query."""
+    if isinstance(spec, TopKQuery):
+        return spec
+    if isinstance(spec, QuerySpec):
+        return spec.build()
+    raise TypeError(
+        f"expected a TopKQuery or QuerySpec, got {type(spec).__name__}"
+    )

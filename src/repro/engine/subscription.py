@@ -1,0 +1,173 @@
+"""One continuous query attached to a :class:`~repro.engine.StreamEngine`.
+
+A subscription owns everything one query needs on the shared stream: the
+algorithm instance, the incremental slide batcher that turns pushed objects
+into window movements, the metric aggregates, the retained answers, and the
+result callbacks.  Its memory footprint is O(window): the batcher holds at
+most one window of objects and the result buffer is bounded whenever the
+caller bounds it (``result_buffer=...``) or disables retention
+(``keep_results=False``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+from ..core.interface import ContinuousTopKAlgorithm
+from ..core.metrics import MetricsCollector
+from ..core.object import StreamObject
+from ..core.result import TopKResult
+from ..core.window import SlideBatcher
+
+ResultCallback = Callable[[str, TopKResult], None]
+
+
+class Subscription:
+    """Handle for one query registered on a :class:`StreamEngine`.
+
+    Created by :meth:`StreamEngine.subscribe`; not meant to be instantiated
+    directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        algorithm: ContinuousTopKAlgorithm,
+        *,
+        keep_results: bool = True,
+        result_buffer: Optional[int] = None,
+        collect_metrics: bool = True,
+    ) -> None:
+        self.name = name
+        self.algorithm = algorithm
+        self.query = algorithm.query
+        self._batcher = SlideBatcher(algorithm.query)
+        self._metrics = MetricsCollector()
+        self._collect_metrics = collect_metrics
+        self._keep_results = keep_results
+        self._results: Deque[TopKResult] = deque(maxlen=result_buffer)
+        self._callbacks: List[ResultCallback] = []
+        self._delivered = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Consuming answers
+    # ------------------------------------------------------------------
+    def on_result(self, callback: ResultCallback) -> "Subscription":
+        """Invoke ``callback(name, result)`` for every new answer."""
+        self._callbacks.append(callback)
+        return self
+
+    def results(self) -> List[TopKResult]:
+        """The retained answers, oldest first (see ``keep_results``)."""
+        return list(self._results)
+
+    def latest(self) -> Optional[TopKResult]:
+        """The most recent answer, or ``None`` before the window first fills."""
+        return self._results[-1] if self._results else None
+
+    def drain(self) -> Iterator[TopKResult]:
+        """Yield and discard retained answers, oldest first.
+
+        Draining keeps consumption O(1) on unbounded streams: answers pulled
+        here no longer occupy the result buffer.
+        """
+        while self._results:
+            yield self._results.popleft()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self._metrics
+
+    @property
+    def results_delivered(self) -> int:
+        """Total answers produced so far (regardless of retention)."""
+        return self._delivered
+
+    def window_size(self) -> int:
+        """Number of stream objects currently buffered by the window."""
+        return self._batcher.window_size()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time view of the subscription's state."""
+        latest = self.latest()
+        return {
+            "name": self.name,
+            "algorithm": self.algorithm.name,
+            "query": self.query.describe(),
+            "closed": self._closed,
+            "slides": self._metrics.slides,
+            "results_delivered": self._delivered,
+            "window_size": self.window_size(),
+            "candidate_count": self.algorithm.candidate_count(),
+            "memory_bytes": self.algorithm.memory_bytes(),
+            "latest_scores": list(latest.scores) if latest is not None else [],
+        }
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate performance statistics (the paper's three measures)."""
+        m = self._metrics
+        return {
+            "slides": m.slides,
+            "results_delivered": self._delivered,
+            "average_candidates": m.average_candidates,
+            "candidate_max": m.candidate_max,
+            "average_memory_kb": m.average_memory_kb,
+            "median_latency": m.median_latency,
+            "p95_latency": m.p95_latency,
+            "max_latency": m.max_latency,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle (driven by the engine)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop receiving objects; retained results stay readable."""
+        if not self._closed:
+            self._closed = True
+            self.algorithm.close()
+
+    def _process(self, obj: StreamObject) -> List[TopKResult]:
+        """Feed one object; return the answers it completed (0+)."""
+        if self._closed:
+            return []
+        return [self._deliver(event) for event in self._batcher.push(obj)]
+
+    def _flush(self) -> List[TopKResult]:
+        """Emit the end-of-stream report of a time-based window (if any)."""
+        if self._closed:
+            return []
+        return [self._deliver(event) for event in self._batcher.flush()]
+
+    def _deliver(self, event) -> TopKResult:
+        started = time.perf_counter()
+        result = self.algorithm.process_slide(event)
+        latency = time.perf_counter() - started
+        if self._collect_metrics:
+            self._metrics.record(
+                self.algorithm.candidate_count(), self.algorithm.memory_bytes(), latency
+            )
+        else:
+            self._metrics.slides += 1
+        self._delivered += 1
+        if self._keep_results:
+            self._results.append(result)
+        for callback in self._callbacks:
+            callback(self.name, result)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"Subscription({self.name!r}, {self.algorithm.name}, "
+            f"{self.query.describe()}, {state})"
+        )

@@ -3,6 +3,12 @@
 The integration tests and the benchmark harness both need the same two
 things: run every algorithm on an identical stream, and check that the
 answers agree window by window (they must — all algorithms are exact).
+
+The comparison subscribes every algorithm to one
+:class:`repro.engine.StreamEngine`, so the stream is consumed in a single
+lazy pass instead of once per algorithm.  Each algorithm's elapsed time is
+the sum of its own per-slide processing latencies, which keeps the timings
+attributable even though the pass is shared.
 """
 
 from __future__ import annotations
@@ -14,7 +20,8 @@ from ..core.interface import ContinuousTopKAlgorithm
 from ..core.object import StreamObject
 from ..core.query import TopKQuery
 from ..core.result import results_agree
-from .engine import RunReport, run_algorithm
+from ..engine import StreamEngine
+from .engine import RunReport
 
 AlgorithmFactory = Callable[[TopKQuery], ContinuousTopKAlgorithm]
 
@@ -36,7 +43,7 @@ class AlgorithmComparison:
 
 def compare_algorithms(
     factories: Sequence[AlgorithmFactory],
-    objects: Sequence[StreamObject],
+    objects: Iterable[StreamObject],
     query: TopKQuery,
     keep_results: bool = True,
 ) -> AlgorithmComparison:
@@ -45,22 +52,43 @@ def compare_algorithms(
     Agreement is checked against the first algorithm in the sequence, which
     by convention is the reference (usually the brute-force oracle).
     """
-    objects = list(objects)
-    reports: Dict[str, RunReport] = {}
+    engine = StreamEngine()
+    names: List[str] = []
+    seen: Dict[str, int] = {}
     for factory in factories:
         algorithm = factory(query)
-        report = run_algorithm(algorithm, objects, keep_results=keep_results)
-        reports[algorithm.name] = report
+        # Two configurations of the same algorithm share a display name;
+        # disambiguate so every run keeps its own report and the agreement
+        # check below covers all of them.
+        display = algorithm.name
+        seen[display] = seen.get(display, 0) + 1
+        if seen[display] > 1:
+            display = f"{display} #{seen[display]}"
+        engine.subscribe(display, algorithm=algorithm, keep_results=keep_results)
+        names.append(display)
+    engine.push_many(objects)
+    engine.flush()
+
+    reports: Dict[str, RunReport] = {}
+    for display_name in names:
+        subscription = engine.subscription(display_name)
+        reports[display_name] = RunReport(
+            algorithm=display_name,
+            query=query,
+            elapsed_seconds=subscription.metrics.latency_total,
+            metrics=subscription.metrics,
+            results=subscription.results(),
+        )
 
     agree = True
     disagreement: Optional[str] = None
     if keep_results and len(reports) > 1:
-        names = list(reports)
-        reference = reports[names[0]]
-        for name in names[1:]:
+        ordered = list(reports)
+        reference = reports[ordered[0]]
+        for name in ordered[1:]:
             if not results_agree(reference.results, reports[name].results):
                 agree = False
-                disagreement = f"{name} disagrees with {names[0]}"
+                disagreement = f"{name} disagrees with {ordered[0]}"
                 break
 
     return AlgorithmComparison(reports=reports, agree=agree, disagreement=disagreement)

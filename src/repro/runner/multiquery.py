@@ -1,60 +1,52 @@
 """Run several continuous top-k queries over a single pass of the stream.
 
 Real monitoring deployments rarely run one query: different users watch
-different window lengths, slides, and k values over the same feed.  The
-:class:`MultiQueryEngine` keeps one algorithm instance (and one incremental
-slide batcher) per registered query and pushes every stream object exactly
-once, delivering each query's answers as its own window slides.
+different window lengths, slides, and k values over the same feed.
 
-The engine is algorithm-agnostic: any :class:`ContinuousTopKAlgorithm` can
-be registered, so a SAP instance and a MinTopK instance can monitor the
-same stream side by side.
+:class:`MultiQueryEngine` is the historical interface for that workload.
+It is now a thin wrapper over the push-based
+:class:`repro.engine.StreamEngine`, which is the single execution path of
+the library; new code should use the engine directly (it adds named
+algorithm lookup, callbacks, snapshots, and bounded result retention).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from ..core.interface import ContinuousTopKAlgorithm
 from ..core.object import StreamObject
 from ..core.result import TopKResult
-from ..core.window import SlideBatcher
-
-
-@dataclass
-class _RegisteredQuery:
-    name: str
-    algorithm: ContinuousTopKAlgorithm
-    batcher: SlideBatcher
-    results: List[TopKResult] = field(default_factory=list)
+from ..engine import StreamEngine
 
 
 class MultiQueryEngine:
-    """Shared-stream execution of several continuous top-k queries."""
+    """Shared-stream execution of several continuous top-k queries.
+
+    Deprecated facade kept for backward compatibility; wraps
+    :class:`repro.engine.StreamEngine`.
+    """
 
     def __init__(self, keep_results: bool = True) -> None:
-        self._queries: Dict[str, _RegisteredQuery] = {}
-        self._keep_results = keep_results
+        self._engine = StreamEngine(keep_results=keep_results)
 
     # ------------------------------------------------------------------
     def register(self, name: str, algorithm: ContinuousTopKAlgorithm) -> None:
         """Register an algorithm instance under a unique query name."""
-        if name in self._queries:
-            raise ValueError(f"query {name!r} is already registered")
-        self._queries[name] = _RegisteredQuery(
-            name=name, algorithm=algorithm, batcher=SlideBatcher(algorithm.query)
-        )
+        try:
+            self._engine.subscribe(name, algorithm=algorithm)
+        except ValueError as exc:
+            raise ValueError(f"query {name!r} is already registered") from exc
 
     def names(self) -> List[str]:
-        return list(self._queries)
+        return self._engine.subscriptions()
 
     def algorithm(self, name: str) -> ContinuousTopKAlgorithm:
-        return self._queries[name].algorithm
+        return self._engine.subscription(name).algorithm
 
     def results(self, name: str) -> List[TopKResult]:
         """All answers produced so far for one query (requires keep_results)."""
-        return list(self._queries[name].results)
+        return self._engine.results(name)
 
     # ------------------------------------------------------------------
     def push(self, obj: StreamObject) -> Dict[str, List[TopKResult]]:
@@ -63,35 +55,16 @@ class MultiQueryEngine:
         Returns, per query name, the answers (possibly none) whose windows
         were completed by this object.
         """
-        if not self._queries:
+        if not len(self._engine):
             raise ValueError("no queries registered")
-        produced: Dict[str, List[TopKResult]] = {}
-        for entry in self._queries.values():
-            new_results = [
-                entry.algorithm.process_slide(event) for event in entry.batcher.push(obj)
-            ]
-            if new_results:
-                produced[entry.name] = new_results
-                if self._keep_results:
-                    entry.results.extend(new_results)
-        return produced
+        return self._engine.push(obj)
 
     def finish(self) -> Dict[str, List[TopKResult]]:
         """Flush time-based queries (their final report needs end-of-stream)."""
-        produced: Dict[str, List[TopKResult]] = {}
-        for entry in self._queries.values():
-            new_results = [
-                entry.algorithm.process_slide(event) for event in entry.batcher.flush()
-            ]
-            if new_results:
-                produced[entry.name] = new_results
-                if self._keep_results:
-                    entry.results.extend(new_results)
-        return produced
+        return self._engine.flush()
 
     def run(self, objects: Iterable[StreamObject]) -> Dict[str, List[TopKResult]]:
         """Push a whole stream and return every query's answer sequence."""
-        for obj in objects:
-            self.push(obj)
+        self._engine.push_many(objects)
         self.finish()
-        return {name: list(entry.results) for name, entry in self._queries.items()}
+        return {name: self._engine.results(name) for name in self._engine.subscriptions()}

@@ -28,6 +28,19 @@ class StreamSource(ABC):
         """Materialise ``count`` objects into a list."""
         return list(self.objects(count))
 
+    def feed(self, engine, count: int, *, flush: bool = True) -> int:
+        """Push ``count`` objects into a :class:`repro.engine.StreamEngine`.
+
+        The adapter streams the objects one at a time (never materialising
+        them) and, by default, flushes the engine afterwards so time-based
+        subscriptions emit their end-of-stream report.  Returns the number
+        of objects pushed.
+        """
+        pushed = engine.push_many(self.objects(count))
+        if flush:
+            engine.flush()
+        return pushed
+
 
 class ListSource(StreamSource):
     """Wrap an in-memory sequence of scores or records as a stream.

@@ -1,0 +1,1 @@
+"""Tests of the push-based StreamEngine facade and the unified registry."""

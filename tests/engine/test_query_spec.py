@@ -1,0 +1,55 @@
+"""Unit tests for the fluent QuerySpec builder."""
+
+import pytest
+
+from repro.core.exceptions import InvalidQueryError
+from repro.core.query import TopKQuery
+from repro.engine.spec import QuerySpec, resolve_query
+
+
+class TestBuild:
+    def test_fluent_chain_builds_query(self):
+        query = QuerySpec().window(100).top(5).slide(10).build()
+        assert (query.n, query.k, query.s) == (100, 5, 10)
+        assert not query.time_based
+
+    def test_constructor_arguments_equivalent_to_fluent(self):
+        assert QuerySpec(n=100, k=5, s=10).build() == QuerySpec().window(100).top(5).slide(10).build()
+
+    def test_default_slide_is_one(self):
+        assert QuerySpec(n=10, k=2).build().s == 1
+
+    def test_scored_by_sets_preference(self):
+        query = QuerySpec(n=10, k=2).scored_by(lambda record: record["value"]).build()
+        assert query.score({"value": 3.5}) == 3.5
+
+    def test_over_time_marks_time_based(self):
+        assert QuerySpec(n=600, k=10, s=60).over_time().build().time_based
+        assert not QuerySpec(n=600, k=10, s=60).over_time().over_count().build().time_based
+
+    def test_missing_window_rejected(self):
+        with pytest.raises(InvalidQueryError, match="window"):
+            QuerySpec().top(5).build()
+
+    def test_missing_k_rejected(self):
+        with pytest.raises(InvalidQueryError, match="result size"):
+            QuerySpec().window(100).build()
+
+    def test_invalid_combination_rejected_at_build(self):
+        with pytest.raises(InvalidQueryError):
+            QuerySpec(n=10, k=2, s=50).build()  # s > n
+
+    def test_from_query_round_trip(self):
+        query = TopKQuery(n=80, k=4, s=8)
+        assert QuerySpec.from_query(query).build() == query
+
+
+class TestResolveQuery:
+    def test_accepts_query_and_spec(self):
+        query = TopKQuery(n=50, k=3, s=5)
+        assert resolve_query(query) is query
+        assert resolve_query(QuerySpec(n=50, k=3, s=5)) == query
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            resolve_query({"n": 50, "k": 3})

@@ -61,3 +61,23 @@ class TestCompareAlgorithms:
         objects = make_objects(random_scores(200, seed=4))
         outcome = compare_algorithms([BruteForceTopK], objects, query)
         assert outcome.agree and len(outcome.names()) == 1
+
+
+class TestDuplicateDisplayNames:
+    def test_same_named_configurations_both_reported_and_checked(self):
+        query = TopKQuery(n=60, k=4, s=6)
+        objects = make_objects(random_scores(240, seed=5))
+        same = lambda q: SAPTopK(q)
+        outcome = compare_algorithms([same, same], objects, query)
+        # Both runs keep their own report (the second gets a "#2" suffix),
+        # so the agreement check actually compares them.
+        assert len(outcome.names()) == 2
+        assert outcome.agree
+
+    def test_duplicate_wrong_algorithm_detected(self):
+        query = TopKQuery(n=60, k=4, s=6)
+        objects = make_objects(random_scores(240, seed=6))
+        outcome = compare_algorithms(
+            [_DeliberatelyWrong, _DeliberatelyWrong, SAPTopK], objects, query
+        )
+        assert not outcome.agree

@@ -50,3 +50,19 @@ class TestLatencyCollection:
         assert all(latency >= 0.0 for latency in report.metrics.latencies)
         assert sum(report.metrics.latencies) <= report.elapsed_seconds + 1e-6
         assert report.metrics.p95_latency >= report.metrics.median_latency
+
+
+class TestBoundedLatencySample:
+    def test_sample_is_decimated_but_totals_stay_exact(self):
+        from repro.core.metrics import LATENCY_SAMPLE_CAP
+
+        metrics = MetricsCollector()
+        count = 3 * LATENCY_SAMPLE_CAP
+        for i in range(count):
+            metrics.record(candidate_count=1, memory_bytes=1, latency_seconds=1.0)
+        # The retained sample stays bounded on unbounded streams ...
+        assert len(metrics.latencies) < LATENCY_SAMPLE_CAP
+        # ... while totals and maxima remain exact.
+        assert metrics.latency_total == pytest.approx(float(count))
+        assert metrics.max_latency == 1.0
+        assert metrics.median_latency == 1.0
