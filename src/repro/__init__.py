@@ -71,7 +71,7 @@ from .registry import (
     create_algorithm,
     register_algorithm,
 )
-from .engine import QuerySpec, StreamEngine, Subscription
+from .engine import QueryGroup, QuerySpec, StreamEngine, Subscription
 from .runner import MultiQueryEngine, RunReport, compare_algorithms, run_algorithm
 
 __version__ = "1.1.0"
@@ -100,6 +100,7 @@ __all__ = [
     "DynamicPartitioner",
     "EnhancedDynamicPartitioner",
     "StreamEngine",
+    "QueryGroup",
     "QuerySpec",
     "Subscription",
     "AlgorithmInfo",

@@ -16,12 +16,13 @@ paper makes the same distinction).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Hashable, List, Sequence, Tuple
 
 from ..core.interface import OBJECT_FOOTPRINT_BYTES, ContinuousTopKAlgorithm
 from ..core.object import StreamObject
 from ..core.query import TopKQuery
 from ..core.result import TopKResult
+from ..core.shared import CoreSharedPlan, SharedCoreMember
 from ..core.window import SlideEvent
 from ..structures.avl import AVLTree
 
@@ -36,7 +37,7 @@ class _SkybandEntry:
         self.dominators = 0
 
 
-class KSkybandTopK(ContinuousTopKAlgorithm):
+class KSkybandTopK(SharedCoreMember, ContinuousTopKAlgorithm):
     """Maintain all k-skyband objects of the window."""
 
     name = "k-skyband"
@@ -44,6 +45,28 @@ class KSkybandTopK(ContinuousTopKAlgorithm):
     def __init__(self, query: TopKQuery) -> None:
         super().__init__(query)
         self._candidates = AVLTree()
+
+    # ------------------------------------------------------------------
+    # Shared-slide lifecycle: the k-skyband of the window at k_max is a
+    # superset of the skyband at any smaller k, and its top-k prefix *is*
+    # the window's exact top-k.  One shared skyband core therefore serves
+    # every co-windowed k-skyband query; members just slice the answer
+    # (the mechanics live in SharedCoreMember / CoreSharedPlan).
+    # ------------------------------------------------------------------
+    def shared_plan_key(self) -> Hashable:
+        return ("k-skyband",)
+
+    def build_shared_plan(self, subscriptions: Sequence[object]) -> "KSkybandSharedPlan":
+        return KSkybandSharedPlan(subscriptions)
+
+    def _sharing_started(self) -> bool:
+        return len(self._candidates) > 0
+
+    def _local_candidate_count(self) -> int:
+        return len(self._candidates)
+
+    def _local_memory_bytes(self) -> int:
+        return len(self._candidates) * OBJECT_FOOTPRINT_BYTES
 
     # ------------------------------------------------------------------
     def process_slide(self, event: SlideEvent) -> TopKResult:
@@ -68,9 +91,15 @@ class KSkybandTopK(ContinuousTopKAlgorithm):
             self._candidates.remove(key)
         self._candidates.insert(obj.rank_key, _SkybandEntry(obj))
 
-    # ------------------------------------------------------------------
-    def candidate_count(self) -> int:
-        return len(self._candidates)
+class KSkybandSharedPlan(CoreSharedPlan):
+    """One k-skyband core (at ``k_max``) serving every member query."""
 
-    def memory_bytes(self) -> int:
-        return len(self._candidates) * OBJECT_FOOTPRINT_BYTES
+    kind = "k-skyband"
+
+    def __init__(self, subscriptions: Sequence[object]) -> None:
+        shape = subscriptions[0].query
+        k_max = max(sub.query.k for sub in subscriptions)
+        core = KSkybandTopK(
+            TopKQuery(n=shape.n, k=k_max, s=shape.s, time_based=shape.time_based)
+        )
+        super().__init__(subscriptions, core)

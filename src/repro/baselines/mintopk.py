@@ -24,7 +24,7 @@ expensive as ``s`` shrinks.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Tuple
+from typing import Dict, Hashable, List, Sequence, Tuple
 
 from ..core.exceptions import InvalidQueryError
 from ..core.interface import (
@@ -35,12 +35,13 @@ from ..core.interface import (
 from ..core.object import StreamObject
 from ..core.query import TopKQuery
 from ..core.result import TopKResult
+from ..core.shared import CoreSharedPlan, SharedCoreMember
 from ..core.window import SlideEvent
 
 RankKey = Tuple[float, int]
 
 
-class MinTopK(ContinuousTopKAlgorithm):
+class MinTopK(SharedCoreMember, ContinuousTopKAlgorithm):
     """Predicted-result-set maintenance for count-based sliding windows."""
 
     name = "MinTopK"
@@ -54,6 +55,34 @@ class MinTopK(ContinuousTopKAlgorithm):
         # Shared candidate pool: rank key -> (object, reference count).
         self._pool: Dict[RankKey, List] = {}
         self._next_report = 0
+
+    # ------------------------------------------------------------------
+    # Shared-slide lifecycle: a window position's predicted top-k_max set
+    # contains the true top-k of that position for every k <= k_max (both
+    # are exact top-k of the same already-seen objects), so one shared
+    # MinTopK core serves all co-windowed MinTopK queries; members slice
+    # their prefix out of the position's answer when it becomes current
+    # (the mechanics live in SharedCoreMember / CoreSharedPlan).
+    # ------------------------------------------------------------------
+    def shared_plan_key(self) -> Hashable:
+        return ("MinTopK",)
+
+    def build_shared_plan(self, subscriptions: Sequence[object]) -> "MinTopKSharedPlan":
+        return MinTopKSharedPlan(subscriptions)
+
+    def _sharing_started(self) -> bool:
+        return bool(self._pool or self._predicted)
+
+    def _local_candidate_count(self) -> int:
+        return len(self._pool)
+
+    def _local_memory_bytes(self) -> int:
+        predicted_refs = sum(len(heap) for heap in self._predicted.values())
+        lbp_pointers = len(self._predicted)
+        return (
+            len(self._pool) * OBJECT_FOOTPRINT_BYTES
+            + (predicted_refs + lbp_pointers) * POINTER_FOOTPRINT_BYTES
+        )
 
     # ------------------------------------------------------------------
     def process_slide(self, event: SlideEvent) -> TopKResult:
@@ -111,14 +140,13 @@ class MinTopK(ContinuousTopKAlgorithm):
             self._release(key)
         return TopKResult.from_objects(event.index, event.window_end, objects)
 
-    # ------------------------------------------------------------------
-    def candidate_count(self) -> int:
-        return len(self._pool)
+class MinTopKSharedPlan(CoreSharedPlan):
+    """One MinTopK core (at ``k_max``) serving every member query."""
 
-    def memory_bytes(self) -> int:
-        predicted_refs = sum(len(heap) for heap in self._predicted.values())
-        lbp_pointers = len(self._predicted)
-        return (
-            len(self._pool) * OBJECT_FOOTPRINT_BYTES
-            + (predicted_refs + lbp_pointers) * POINTER_FOOTPRINT_BYTES
-        )
+    kind = "MinTopK"
+
+    def __init__(self, subscriptions: Sequence[object]) -> None:
+        shape = subscriptions[0].query
+        k_max = max(sub.query.k for sub in subscriptions)
+        core = MinTopK(TopKQuery(n=shape.n, k=k_max, s=shape.s))
+        super().__init__(subscriptions, core)

@@ -9,11 +9,13 @@ return plain dictionaries the benchmark modules format into tables.
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.framework import SAPTopK
 from ..core.interface import ContinuousTopKAlgorithm
 from ..core.query import TopKQuery
+from ..engine import StreamEngine
 from ..partitioning import EqualPartitioner
 from ..registry import algorithm_factories, get_algorithm
 from ..runner.engine import run_algorithm
@@ -161,6 +163,66 @@ def partitioner_comparison(
     return sweep_parameter(dataset, scale, parameter, values, PARTITIONER_FACTORIES)
 
 
+def measure_multiquery_sharing(
+    dataset: str,
+    query_shape: Tuple[int, int],
+    k_values: Sequence[int],
+    algorithm: str,
+    stream_length: int,
+) -> Dict[str, object]:
+    """Compare N independent engines against one shared multi-query plane.
+
+    Runs ``len(k_values)`` queries of one window shape ``(n, s)`` — first
+    each on its own :class:`~repro.engine.StreamEngine` (the pre-group
+    architecture), then all on a single engine, where they form one query
+    group and share slide batching and, when the algorithm supports it, a
+    ``k_max`` execution plan.  Returns throughput (objects/second through
+    the plane) and per-slide latency aggregates for both arrangements.
+    """
+    n, s = query_shape
+    objects = dataset_stream(dataset, stream_length)
+    queries = [TopKQuery(n=n, k=k, s=s) for k in k_values]
+
+    def run_engines(shared: bool) -> Dict[str, float]:
+        engines: List[StreamEngine] = []
+        subscriptions = []
+        if shared:
+            engines.append(StreamEngine(keep_results=False, return_results=False))
+        for query in queries:
+            if not shared:
+                engines.append(StreamEngine(keep_results=False, return_results=False))
+            subscriptions.append(
+                engines[-1].subscribe(f"k{query.k}-{len(subscriptions)}", query, algorithm=algorithm)
+            )
+        started = time.perf_counter()
+        for engine in engines:
+            engine.push_many(objects)
+        elapsed = time.perf_counter() - started
+        slide_latencies = [sub.metrics for sub in subscriptions]
+        return {
+            "seconds": elapsed,
+            "events_per_second": len(objects) / elapsed if elapsed else float("inf"),
+            "median_slide_latency": max(m.median_latency for m in slide_latencies),
+            "p95_slide_latency": max(m.p95_latency for m in slide_latencies),
+            "slides": sum(m.slides for m in slide_latencies),
+        }
+
+    independent = run_engines(shared=False)
+    shared = run_engines(shared=True)
+    return {
+        "dataset": dataset,
+        "algorithm": algorithm,
+        "n": n,
+        "s": s,
+        "k_values": list(k_values),
+        "queries": len(k_values),
+        "stream_length": len(objects),
+        "independent": independent,
+        "shared": shared,
+        "speedup": independent["seconds"] / shared["seconds"] if shared["seconds"] else float("inf"),
+    }
+
+
 def oracle_check(dataset: str, scale: BenchScale) -> bool:
     """Sanity helper: SAP agrees with the brute-force oracle on this scale's
     default query (used by the benchmark suite as a guard)."""
@@ -180,7 +242,7 @@ def main(argv: Sequence[str]) -> int:  # pragma: no cover - CLI convenience
     from .workloads import scale_from_env
 
     if len(argv) < 2:
-        print("usage: python -m repro.bench.experiments <fig9|table3> <DATASET>")
+        print("usage: python -m repro.bench.experiments <fig9|table3|multiquery> <DATASET>")
         return 1
     scale = scale_from_env()
     kind, dataset = argv[0], argv[1]
@@ -188,6 +250,25 @@ def main(argv: Sequence[str]) -> int:  # pragma: no cover - CLI convenience
         rows = sweep_parameter(dataset, scale, "n", scale.n_values, ALGORITHM_FACTORIES)
     elif kind == "table3":
         rows = partitioner_comparison(dataset, scale, "k", scale.k_values)
+    elif kind == "multiquery":
+        n, _, s = scale.default_query_params()
+        results = [
+            measure_multiquery_sharing(
+                dataset, (2 * n, max(1, n // 10)), tuple(scale.k_values), name, scale.stream_length
+            )
+            for name in ("SAP", "k-skyband", "MinTopK")
+        ]
+        table = format_table(
+            f"multi-query sharing on {dataset} ({scale.name} scale)",
+            ["algorithm", "queries", "indep s", "shared s", "speedup"],
+            [
+                [row["algorithm"], row["queries"], row["independent"]["seconds"],
+                 row["shared"]["seconds"], row["speedup"]]
+                for row in results
+            ],
+        )
+        print(table)
+        return 0
     else:
         print(f"unknown experiment {kind!r}")
         return 1

@@ -20,9 +20,9 @@ that sharpen the measured ratios.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..core.object import StreamObject
 from ..streams import make_dataset

@@ -1,6 +1,6 @@
 """Command-line interface of the reproduction library.
 
-Two subcommands are provided:
+Three subcommands are provided:
 
 ``run``
     Run one algorithm over one of the built-in datasets and print the
@@ -11,20 +11,29 @@ Two subcommands are provided:
     Run several algorithms over the same stream, verify that their answers
     agree, and print a comparison table.
 
+``multi``
+    Run several queries with one window shape but different result sizes
+    ``k`` through the shared multi-query plane (one query group, one
+    ``k_max`` execution plan) and print per-query statistics plus the
+    plane's throughput against independent engines.
+
 Examples::
 
     python -m repro run --dataset STOCK --n 1000 --k 10 --s 50
     python -m repro compare --dataset TIMER --n 1000 --k 20 --s 50 \
         --algorithms SAP MinTopK k-skyband
+    python -m repro multi --dataset STOCK --n 1000 --s 50 --k 5 10 20 50
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Dict, List, Optional, Sequence
+import time
+from typing import Callable, Dict, Optional, Sequence
 
 from .core.interface import ContinuousTopKAlgorithm
 from .core.query import TopKQuery
+from .engine import StreamEngine
 from .registry import algorithm_factories, create_algorithm, get_algorithm
 from .runner.comparison import compare_algorithms
 from .runner.engine import run_algorithm
@@ -79,6 +88,37 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(algorithm_factories()),
         help="algorithms to compare (answers are checked for agreement)",
     )
+
+    multi_parser = subparsers.add_parser(
+        "multi", help="run several same-window queries on the shared plane"
+    )
+    multi_parser.add_argument(
+        "--dataset",
+        default="TIMEU",
+        choices=dataset_names(),
+        help="built-in synthetic dataset to stream",
+    )
+    multi_parser.add_argument("--objects", type=int, default=8000, help="stream length")
+    multi_parser.add_argument("--n", type=int, default=1000, help="window size")
+    multi_parser.add_argument("--s", type=int, default=50, help="slide size")
+    multi_parser.add_argument(
+        "--k",
+        type=int,
+        nargs="+",
+        default=[5, 10, 20, 50],
+        help="result sizes; one query per value, all sharing the window shape",
+    )
+    multi_parser.add_argument(
+        "--algorithm",
+        default="SAP",
+        choices=sorted(algorithm_factories()),
+        help="algorithm backing every query",
+    )
+    multi_parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run each query on its own engine and report the speedup",
+    )
     return parser
 
 
@@ -122,6 +162,58 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0 if outcome.agree else 2
 
 
+def _command_multi(args: argparse.Namespace) -> int:
+    stream = list(make_dataset(args.dataset).take(args.objects))
+    queries = [TopKQuery(n=args.n, k=min(k, args.n), s=min(args.s, args.n)) for k in args.k]
+
+    engine = StreamEngine(keep_results=False, return_results=False)
+    # Clamping k to n (or repeated --k values) can produce duplicate result
+    # sizes; suffix repeats so every query keeps a unique subscription name.
+    seen: Dict[int, int] = {}
+    subscriptions = []
+    for query in queries:
+        seen[query.k] = seen.get(query.k, 0) + 1
+        name = f"top-{query.k}" if seen[query.k] == 1 else f"top-{query.k}#{seen[query.k]}"
+        subscriptions.append(engine.subscribe(name, query, algorithm=args.algorithm))
+    started = time.perf_counter()
+    engine.push_many(stream)
+    engine.flush()
+    shared_seconds = time.perf_counter() - started
+
+    print(f"dataset   : {args.dataset} ({args.objects} objects)")
+    print(f"plane     : {len(queries)} queries over n={args.n}, s={args.s} "
+          f"({args.algorithm})")
+    for group in engine.groups():
+        for plan in group["plans"]:
+            print(f"plan      : {plan['kind']} at k_max={plan['k_max']} "
+                  f"shared by {len(plan['members'])} queries")
+    throughput = args.objects / shared_seconds if shared_seconds else float("inf")
+    print(f"shared    : {shared_seconds:.3f}s ({throughput:,.0f} objects/s)")
+
+    header = f"{'query':<12} {'slides':>7} {'candidates':>11} {'p95 latency':>12}"
+    print(header)
+    print("-" * len(header))
+    for subscription in subscriptions:
+        stats = subscription.stats()
+        print(
+            f"{subscription.name:<12} {int(stats['slides']):>7} "
+            f"{stats['average_candidates']:>11.1f} {stats['p95_latency']:>12.6f}"
+        )
+
+    if args.baseline:
+        started = time.perf_counter()
+        for query in queries:
+            solo = StreamEngine(keep_results=False, return_results=False)
+            solo.subscribe("solo", query, algorithm=args.algorithm)
+            solo.push_many(stream)
+            solo.flush()
+        independent_seconds = time.perf_counter() - started
+        speedup = independent_seconds / shared_seconds if shared_seconds else float("inf")
+        print(f"baseline  : {independent_seconds:.3f}s on independent engines "
+              f"-> {speedup:.2f}x speedup from sharing")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the test-suite."""
     parser = build_parser()
@@ -130,5 +222,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run(args)
     if args.command == "compare":
         return _command_compare(args)
+    if args.command == "multi":
+        return _command_multi(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 1  # pragma: no cover

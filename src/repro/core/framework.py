@@ -26,9 +26,10 @@ procedure) on top of the building blocks of the other modules:
 
 from __future__ import annotations
 
+import time
 from bisect import insort
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..partitioning.base import PartitionContext, Partitioner
 from ..partitioning.enhanced import EnhancedDynamicPartitioner
@@ -48,6 +49,7 @@ from .object import StreamObject, top_k
 from .partition import Partition, build_partition
 from .query import TopKQuery
 from .result import TopKResult
+from .shared import SharedPartition, SharedPlan, SharedSlide
 from .window import SlideEvent
 
 RankKey = Tuple[float, int]
@@ -151,12 +153,20 @@ class SAPTopK(ContinuousTopKAlgorithm):
         # Amortized proactive formation of the next partition's S-AVL.
         self._amortized_builder: Optional[AmortizedSAVLBuilder] = None
         self._amortized_skip_id: Optional[int] = None
+        # Set when the instance consumes partitions sealed by a query
+        # group's shared plan instead of running its own partitioner.
+        self._shared_plan: Optional["SAPSharedPlan"] = None
         self.stats = FrameworkStats()
 
     # ------------------------------------------------------------------
     # Public protocol
     # ------------------------------------------------------------------
     def process_slide(self, event: SlideEvent) -> TopKResult:
+        if self._shared_plan is not None:
+            raise AlgorithmStateError(
+                "this SAP instance is attached to a shared plan; "
+                "drive it through its StreamEngine"
+            )
         self._handle_expirations(event.expirations)
         self._handle_arrivals(event.arrivals)
         if self._policy == "amortized":
@@ -164,6 +174,74 @@ class SAPTopK(ContinuousTopKAlgorithm):
         self._replenish_front()
         self._slides_processed += 1
         return self._current_result(event)
+
+    # ------------------------------------------------------------------
+    # Shared-slide lifecycle (multi-query execution plane)
+    # ------------------------------------------------------------------
+    def shared_plan_key(self) -> Optional[Hashable]:
+        # Sealing decisions are partitioner-specific; the meaningful-set
+        # policy and the S-AVL toggle only affect how each member consumes
+        # the sealed partitions, so they can differ within one plan.
+        return ("SAP", self._partitioner.plan_key())
+
+    def build_shared_plan(self, subscriptions: Sequence[object]) -> "SAPSharedPlan":
+        return SAPSharedPlan(subscriptions)
+
+    def enable_shared_sealing(self, plan: "SAPSharedPlan") -> None:
+        """Switch to consuming partitions sealed by ``plan``.
+
+        Must be called before any slide is processed: the instance's own
+        partitioner is abandoned, so mid-stream adoption would lose the
+        objects it has already buffered.
+        """
+        if self._slides_processed or self._partitions or self._next_partition_id:
+            raise AlgorithmStateError(
+                "cannot attach a shared plan after processing has begun"
+            )
+        self._shared_plan = plan
+
+    def process_shared_slide(self, shared: SharedSlide) -> TopKResult:
+        if self._shared_plan is None:
+            return ContinuousTopKAlgorithm.process_shared_slide(self, shared)
+        event = shared.event
+        # Pre-seals are the force-seal safety valve, applied by the plan
+        # before expirations would reach into the unsealed buffer.
+        for shared_partition in shared.pre_seals:
+            self._adopt_shared_partition(shared_partition)
+        self._handle_expirations(event.expirations)
+        for shared_partition in shared.seals:
+            self._adopt_shared_partition(shared_partition)
+        self._set_pending_topk(shared.pending_topk)
+        if self._policy == "amortized":
+            self._advance_amortized(len(event.expirations))
+        self._replenish_front()
+        self._slides_processed += 1
+        return self._current_result(event)
+
+    def _adopt_shared_partition(self, shared_partition: SharedPartition) -> None:
+        """Seal a partition pre-built by the shared plan at ``k_max``.
+
+        The local top-k is the ``k``-prefix of the shared top-``k_max``
+        (the total order makes ``top_k(X, k) == top_k(X, k_max)[:k]``), so
+        no per-member scan or sort of the partition is needed.  Unit
+        summaries were computed at the plan's ``k_max`` and are only safe
+        for members with exactly that result size.
+        """
+        k = self.query.k
+        units = shared_partition.units if shared_partition.k == k else None
+        partition = Partition(
+            partition_id=self._next_partition_id,
+            objects=shared_partition.objects,
+            k=k,
+            units=units,
+            topk=list(shared_partition.topk_for(k)),
+        )
+        self._adopt_partition(partition)
+
+    def _set_pending_topk(self, pending_topk: Sequence[StreamObject]) -> None:
+        """Adopt the plan's top-``k_max`` of the unsealed suffix, sliced."""
+        best_first = pending_topk[: self.query.k]
+        self._pending_topk = [(obj.rank_key, obj) for obj in reversed(best_first)]
 
     def candidate_count(self) -> int:
         meaningful = len(self._front_meaningful) if self._front_meaningful else 0
@@ -204,11 +282,14 @@ class SAPTopK(ContinuousTopKAlgorithm):
     def _handle_expirations(self, expirations: Sequence[StreamObject]) -> None:
         if not expirations:
             return
+        partitions = self._partitions
+        candidates = self._candidates
         for obj in expirations:
-            front = self._front_for_expiry()
-            self._ensure_front_prepared()
+            front = partitions[0] if partitions else self._front_for_expiry()
+            if not self._front_prepared:
+                self._prepare_front(front)
             front.expire_one(obj)
-            entry = self._candidates.remove(obj.rank_key)
+            entry = candidates.remove(obj.rank_key)
             if entry is not None and entry.partition_id == front.partition_id:
                 self._front_candidate_live -= 1
             if front.fully_expired:
@@ -219,6 +300,12 @@ class SAPTopK(ContinuousTopKAlgorithm):
 
     def _front_for_expiry(self) -> Partition:
         if not self._partitions:
+            if self._shared_plan is not None:
+                # The plan force-seals ahead of expirations (pre_seals), so
+                # running dry here means the plane and the member disagree.
+                raise AlgorithmStateError(
+                    "shared plan did not seal ahead of expirations"
+                )
             # Safety valve: expirations would reach into the unsealed buffer
             # (only possible with a single partition per window); seal it.
             spec = self._partitioner.force_seal()
@@ -330,6 +417,10 @@ class SAPTopK(ContinuousTopKAlgorithm):
         partition = build_partition(
             self._next_partition_id, objects, self.query.k, units
         )
+        self._adopt_partition(partition)
+
+    def _adopt_partition(self, partition: Partition) -> None:
+        """Register a freshly sealed partition (own or plan-provided)."""
         self._next_partition_id += 1
         self.stats.partitions_sealed += 1
         removed = self._candidates.merge_partition_topk(
@@ -465,13 +556,167 @@ class SAPTopK(ContinuousTopKAlgorithm):
     # Results
     # ------------------------------------------------------------------
     def _current_result(self, event: SlideEvent) -> TopKResult:
+        # Merge the two already-ordered sources — the candidate set
+        # (descending walk) and the pending top-k (ascending list) — so
+        # the answer needs no sort.  The sources are disjoint: candidates
+        # come from sealed partitions, pending objects are unsealed.
         k = self.query.k
-        best: List[StreamObject] = [entry.obj for entry in self._candidates.top_entries(k)]
-        best.extend(obj for _, obj in self._pending_topk)
-        return TopKResult.from_objects(event.index, event.window_end, top_k(best, k))
+        pending = self._pending_topk
+        pending_index = len(pending) - 1
+        candidates = self._candidates.iter_descending()
+        candidate = next(candidates, None)
+        best: List[StreamObject] = []
+        while len(best) < k:
+            if candidate is not None and (
+                pending_index < 0 or candidate.rank_key > pending[pending_index][0]
+            ):
+                best.append(candidate.obj)
+                candidate = next(candidates, None)
+            elif pending_index >= 0:
+                best.append(pending[pending_index][1])
+                pending_index -= 1
+            else:
+                break
+        return TopKResult(
+            slide_index=event.index, window_end=event.window_end, objects=tuple(best)
+        )
 
     # ------------------------------------------------------------------
     # Candidate view shared with the dynamic partitioner
     # ------------------------------------------------------------------
     def _top_candidate_scores(self, count: int) -> List[float]:
         return self._candidates.top_scores(count)
+
+
+class _SharedPendingTopK:
+    """Incremental top-``k_max`` of the shared plane's unsealed suffix.
+
+    Mirrors :meth:`SAPTopK._push_pending_topk`, maintained once per plan so
+    that no member has to scan the pending buffer; members slice their own
+    ``k``-prefix out of :meth:`best_first`.
+    """
+
+    def __init__(self, k: int) -> None:
+        self._k = k
+        self._entries: List[Tuple[RankKey, StreamObject]] = []  # ascending
+
+    def push_many(self, objects: Sequence[StreamObject]) -> None:
+        entries, k = self._entries, self._k
+        for obj in objects:
+            entry = (obj.rank_key, obj)
+            if len(entries) < k:
+                insort(entries, entry)
+            elif entry > entries[0]:
+                entries.pop(0)
+                insort(entries, entry)
+
+    def rebuild(self, pending: Sequence[StreamObject]) -> None:
+        best = top_k(pending, self._k)
+        self._entries = sorted((obj.rank_key, obj) for obj in best)
+
+    def clear(self) -> None:
+        self._entries = []
+
+    def best_first(self) -> Tuple[StreamObject, ...]:
+        return tuple(obj for _, obj in reversed(self._entries))
+
+
+class SAPSharedPlan(SharedPlan):
+    """One sealing pipeline serving every SAP query of a window shape.
+
+    The plan owns a single partitioner — a clone of the leading member's
+    configuration, bound to the group's window shape at ``k_max`` — and
+    performs partition sealing, local top-k computation, and pending-suffix
+    top-k maintenance exactly once per slide.  Members adopt the sealed
+    partitions through :meth:`SAPTopK.process_shared_slide`, slicing their
+    own ``k``-prefix out of the shared top-``k_max`` artifacts; their
+    candidate sets, meaningful object sets, and promotions stay per-query,
+    which keeps every member exact for its own ``k``.
+
+    The dynamic partitioners consult the candidate scores of the *live
+    member with the largest k* (the best approximation of the reference
+    interval at ``k_max``); partition boundaries may therefore differ from
+    an independent run, but SAP's answers are exact for any boundary
+    choice, so the produced result sequences are identical.
+    """
+
+    kind = "SAP"
+
+    def __init__(self, subscriptions: Sequence[object]) -> None:
+        super().__init__(subscriptions)
+        algorithms: List[SAPTopK] = [sub.algorithm for sub in self._subs]
+        shape = algorithms[0].query
+        self._seal_query = TopKQuery(
+            n=shape.n,
+            k=self.k_max,
+            s=shape.s,
+            time_based=shape.time_based,
+        )
+        self._partitioner = algorithms[0].partitioner.spawn()
+        self._partitioner.bind(
+            self._seal_query, PartitionContext(self._leader_candidate_scores)
+        )
+        self._sealed_live = 0
+        self._pending_topk = _SharedPendingTopK(self.k_max)
+        for algorithm in algorithms:
+            algorithm.enable_shared_sealing(self)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info["partitioner"] = self._partitioner.name
+        return info
+
+    def _leader_candidate_scores(self, count: int) -> List[float]:
+        leader: Optional[object] = None
+        for sub in self._subs:
+            if sub.closed:
+                continue
+            if leader is None or sub.query.k > leader.query.k:
+                leader = sub
+        if leader is None:
+            return []
+        return leader.algorithm._top_candidate_scores(count)
+
+    # ------------------------------------------------------------------
+    def prepare(self, event: SlideEvent) -> SharedSlide:
+        started = time.perf_counter()
+        pre_seals: Tuple[SharedPartition, ...] = ()
+        expired = len(event.expirations)
+        if expired > self._sealed_live:
+            # Expirations would reach into the unsealed buffer: seal it now
+            # (once for the whole plan) so every member's front partition
+            # chain covers the expiring objects.
+            spec = self._partitioner.force_seal()
+            if spec is not None:
+                pre_seals = (self._share(spec),)
+                self._pending_topk.clear()
+        self._sealed_live = max(0, self._sealed_live - expired)
+        seals: Tuple[SharedPartition, ...] = ()
+        if event.arrivals:
+            specs = self._partitioner.observe(event.arrivals)
+            if specs:
+                seals = tuple(self._share(spec) for spec in specs)
+                self._pending_topk.rebuild(self._partitioner.pending_objects())
+            else:
+                self._pending_topk.push_many(event.arrivals)
+        members = self.open_member_count() or 1
+        prep = time.perf_counter() - started
+        return SharedSlide(
+            event=event,
+            pre_seals=pre_seals,
+            seals=seals,
+            pending_topk=self._pending_topk.best_first(),
+            prep_share=prep / members,
+        )
+
+    def _share(self, spec) -> SharedPartition:
+        """Build the shared ``k_max`` artifacts of one sealed partition."""
+        self._sealed_live += len(spec.objects)
+        partition = build_partition(0, spec.objects, self.k_max, spec.units)
+        return SharedPartition(
+            objects=partition.objects,
+            units=spec.units,
+            topk=partition.topk,
+            k=self.k_max,
+        )

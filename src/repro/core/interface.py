@@ -12,10 +12,11 @@ the algorithm's own structures (excluding the raw stream).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
 from .query import TopKQuery
 from .result import TopKResult
+from .shared import SharedPlan, SharedSlide
 from .window import SlideBatcher, SlideEvent, slides_for_query
 from ..core.object import StreamObject
 
@@ -42,6 +43,44 @@ class ContinuousTopKAlgorithm(ABC):
     @abstractmethod
     def process_slide(self, event: SlideEvent) -> TopKResult:
         """Consume one window movement and return the current top-k."""
+
+    # ------------------------------------------------------------------
+    # Shared-slide lifecycle (multi-query execution plane)
+    # ------------------------------------------------------------------
+    # Queries that share the window shape ``(n, s)`` differ only in ``k``,
+    # so the expensive per-slide work (partition sealing, skyband
+    # maintenance, per-position predicted sets) can be done once at the
+    # largest ``k`` and sliced per query.  The engine's QueryGroup asks
+    # each algorithm whether — and with whom — it can share, through the
+    # three hooks below.  The defaults decline: the algorithm then simply
+    # receives the raw slide event of each shared slide, which keeps every
+    # baseline correct without any opt-in work.
+    def shared_plan_key(self) -> Optional[Hashable]:
+        """Key identifying which co-windowed algorithms can share one plan.
+
+        Algorithms returning equal keys (and sharing a window shape) are
+        bucketed into one :class:`~repro.core.shared.SharedPlan`.  ``None``
+        (the default) opts out of sharing entirely.
+        """
+        return None
+
+    def build_shared_plan(self, subscriptions: Sequence[object]) -> Optional[SharedPlan]:
+        """Create the sharing plan for a bucket of same-key subscriptions.
+
+        Called once, on the first member of the bucket, before any object
+        is processed.  Returning ``None`` (the default) leaves every member
+        running independently.
+        """
+        return None
+
+    def process_shared_slide(self, shared: SharedSlide) -> TopKResult:
+        """Consume one window movement prepared by a shared plan.
+
+        The default implementation ignores the shared artifacts and
+        processes the raw event — the correct fallback for algorithms
+        that cannot exploit cross-query sharing.
+        """
+        return self.process_slide(shared.event)
 
     # ------------------------------------------------------------------
     def candidate_count(self) -> int:

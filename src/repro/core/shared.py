@@ -1,0 +1,254 @@
+"""Shared-slide artifacts exchanged between a query group and its members.
+
+The per-partition state the SAP framework maintains (partition boundaries,
+local top-k ``P_i^k``, unit summaries) and the candidate structures of the
+one-pass baselines depend only on the window shape ``(n, s)`` and on the
+*largest* ``k`` among the queries watching that shape — never on each
+individual ``k``.  The engine's :class:`repro.engine.group.QueryGroup`
+therefore performs that work exactly once per slide, at ``k_max``, and fans
+the result out to every member query, which slices its own answer out of
+the shared artifact (``top_k(X, k) == top_k(X, k_max)[:k]`` for any
+``k <= k_max`` under the library-wide total order).
+
+This module defines the data carried across that boundary:
+
+* :class:`SharedPartition` — one partition sealed by the group's shared
+  sealer, with its object run, optional unit summaries, and local top-k
+  computed at ``k_max``;
+* :class:`SharedSlide` — one window movement enriched with everything the
+  group precomputed for it;
+* :class:`SharedPlan` — base class of the per-algorithm sharing plans
+  (``SAPSharedPlan``, ``KSkybandSharedPlan``, ``MinTopKSharedPlan``).
+
+Algorithms that cannot share anything simply ignore the extras: the default
+:meth:`ContinuousTopKAlgorithm.process_shared_slide` falls back to the raw
+:class:`~repro.core.window.SlideEvent` inside the shared slide.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .exceptions import AlgorithmStateError
+from .object import StreamObject
+from .partition import UnitSummary
+from .result import TopKResult
+from .window import SlideEvent
+
+
+@dataclass(frozen=True)
+class SharedPartition:
+    """One partition sealed once by a query group's shared sealer.
+
+    Attributes
+    ----------
+    objects:
+        The partition's object run, oldest first.  The list is shared by
+        every member of the plan and must never be mutated.
+    units:
+        Unit summaries produced by the sealing partitioner (enhanced
+        dynamic only).  They were computed at ``k``, so members with a
+        smaller result size must not reuse them for UBSA construction.
+    topk:
+        The partition's local top-``k`` (best first), computed once at the
+        plan's ``k_max``.  A member with result size ``k' <= k`` obtains
+        its own local top-k as ``topk[:k']``.
+    k:
+        The result size the shared artifacts were computed at (``k_max``).
+    """
+
+    objects: List[StreamObject]
+    units: Optional[List[UnitSummary]]
+    topk: List[StreamObject]
+    k: int
+
+    def topk_for(self, k: int) -> List[StreamObject]:
+        """Local top-``k`` of the partition for any ``k <= self.k``."""
+        if k > self.k:
+            raise ValueError(
+                f"shared partition was built at k={self.k}, cannot serve k={k}"
+            )
+        return self.topk[:k]
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+
+@dataclass(frozen=True)
+class SharedSlide:
+    """One window movement plus the artifacts a plan precomputed for it.
+
+    Attributes
+    ----------
+    event:
+        The raw slide event (arrivals / expirations / index).
+    pre_seals:
+        Partitions force-sealed *before* this slide's expirations are
+        applied (the safety valve for windows holding a single partition).
+    seals:
+        Partitions sealed by this slide's arrivals, in seal order.
+    pending_topk:
+        Top-``k_max`` of the not-yet-sealed stream suffix, best first.
+    window_topk:
+        Top-``k_max`` of the whole current window, best first (produced by
+        the baseline plans whose shared core *is* the answer).
+    prep_share:
+        Seconds of shared preparation attributed to each open member (the
+        plan's total preparation time divided by the member count), so
+        per-query latency metrics still account for the shared work.
+    """
+
+    event: SlideEvent
+    pre_seals: Tuple[SharedPartition, ...] = ()
+    seals: Tuple[SharedPartition, ...] = ()
+    pending_topk: Tuple[StreamObject, ...] = ()
+    window_topk: Tuple[StreamObject, ...] = ()
+    prep_share: float = 0.0
+
+
+class SharedPlan:
+    """Base class of the per-algorithm sharing plans of a query group.
+
+    A plan owns whatever state is computed once per slide for all member
+    queries (a sealing partitioner, a k-skyband core, ...) and exposes it
+    through :meth:`prepare`, called exactly once per slide event before any
+    member processes it.  Members are the engine's subscription handles;
+    the plan only relies on their ``closed``, ``name``, ``query``, and
+    ``algorithm`` attributes.
+    """
+
+    #: Short label used by introspection (``StreamEngine.groups()``).
+    kind: str = "shared"
+
+    def __init__(self, subscriptions: Sequence[object]) -> None:
+        if not subscriptions:
+            raise ValueError("a shared plan needs at least one member")
+        self._subs: List[object] = list(subscriptions)
+        self.k_max: int = max(sub.query.k for sub in self._subs)
+
+    # ------------------------------------------------------------------
+    def subscriptions(self) -> List[object]:
+        """The member subscriptions, in registration order."""
+        return list(self._subs)
+
+    def discard(self, subscription: object) -> None:
+        """Forget an unsubscribed member (remaining members keep sharing)."""
+        if subscription in self._subs:
+            self._subs.remove(subscription)
+
+    def has_open_members(self) -> bool:
+        return any(not sub.closed for sub in self._subs)
+
+    def open_member_count(self) -> int:
+        return sum(1 for sub in self._subs if not sub.closed)
+
+    def describe(self) -> Dict[str, object]:
+        """Introspection record shown by ``StreamEngine.groups()``."""
+        return {
+            "kind": self.kind,
+            "k_max": self.k_max,
+            "members": [sub.name for sub in self._subs],
+        }
+
+    # ------------------------------------------------------------------
+    def prepare(self, event: SlideEvent) -> SharedSlide:
+        """Do the shared per-slide work once; called before any member."""
+        raise NotImplementedError
+
+
+class CoreSharedPlan(SharedPlan):
+    """A plan hosting one full algorithm instance (the *core*) at ``k_max``.
+
+    For one-pass baselines whose candidate state at ``k_max`` subsumes the
+    state at every smaller ``k`` (the k-skyband of the window, MinTopK's
+    predicted result sets), nothing per-member remains: the plan runs a
+    single core and every member slices its answer out of the core's
+    top-``k_max`` (``window_topk`` on the shared slide).  Subclasses build
+    the core; the per-slide driving, timing attribution, and bookkeeping
+    delegation live here.
+    """
+
+    def __init__(self, subscriptions: Sequence[object], core: object) -> None:
+        super().__init__(subscriptions)
+        self._core = core
+        for sub in self._subs:
+            sub.algorithm.join_shared_plan(self)
+
+    def candidate_count(self) -> int:
+        return self._core.candidate_count()
+
+    def memory_bytes(self) -> int:
+        return self._core.memory_bytes()
+
+    def prepare(self, event: SlideEvent) -> SharedSlide:
+        started = time.perf_counter()
+        result = self._core.process_slide(event)
+        members = self.open_member_count() or 1
+        prep = time.perf_counter() - started
+        return SharedSlide(
+            event=event,
+            window_topk=result.objects,
+            prep_share=prep / members,
+        )
+
+
+class SharedCoreMember:
+    """Member-side half of :class:`CoreSharedPlan`, mixed into algorithms.
+
+    Mix in *before* ``ContinuousTopKAlgorithm`` so the shared-slide
+    overrides take precedence.  The algorithm keeps its independent
+    behaviour until :meth:`join_shared_plan` is called; afterwards its
+    answers are sliced from the plan core and its bookkeeping reports the
+    shared structures (count as-is, memory amortised over the members).
+    Subclasses implement the three ``_local_*``/``_sharing_started``
+    hooks.
+    """
+
+    _shared_plan: Optional[CoreSharedPlan] = None
+
+    # ------------------------------------------------------------------
+    def _sharing_started(self) -> bool:
+        """Whether the algorithm already processed anything (no late joins)."""
+        raise NotImplementedError
+
+    def _local_candidate_count(self) -> int:
+        """Candidate count of the algorithm's own (unshared) structures."""
+        raise NotImplementedError
+
+    def _local_memory_bytes(self) -> int:
+        """Memory estimate of the algorithm's own (unshared) structures."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def join_shared_plan(self, plan: CoreSharedPlan) -> None:
+        if self._sharing_started():
+            raise AlgorithmStateError(
+                "cannot join a shared plan after processing has begun"
+            )
+        self._shared_plan = plan
+
+    def process_shared_slide(self, shared: SharedSlide) -> TopKResult:
+        if self._shared_plan is None:
+            return self.process_slide(shared.event)
+        return TopKResult.from_objects(
+            shared.event.index,
+            shared.event.window_end,
+            shared.window_topk[: self.query.k],
+        )
+
+    def candidate_count(self) -> int:
+        # Members of a shared plan hold no candidates of their own; they
+        # report the shared core so the paper's bookkeeping stays visible.
+        if self._shared_plan is not None:
+            return self._shared_plan.candidate_count()
+        return self._local_candidate_count()
+
+    def memory_bytes(self) -> int:
+        if self._shared_plan is not None:
+            # The shared core's structures, amortised over the members.
+            return self._shared_plan.memory_bytes() // max(
+                1, len(self._shared_plan.subscriptions())
+            )
+        return self._local_memory_bytes()

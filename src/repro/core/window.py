@@ -18,7 +18,7 @@ assert it.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .exceptions import InvalidQueryError
@@ -107,9 +107,10 @@ class SlideBatcher:
     """Incremental slide-event builder (one object at a time).
 
     The generator functions below consume a whole stream; the batcher is
-    their push-based counterpart, used when several queries with different
-    window parameters must share a single pass over the stream (see
-    :class:`repro.runner.multiquery.MultiQueryEngine`).  Feeding the same
+    their push-based counterpart, used when several queries must share a
+    single pass over the stream — every query group of the engine owns
+    exactly one batcher for its window shape (see
+    :class:`repro.engine.group.QueryGroup`).  Feeding the same
     objects to a batcher produces exactly the same events as the
     corresponding generator, except that time-based windows emit their final
     (end-of-stream) report only when :meth:`flush` is called.
@@ -129,6 +130,21 @@ class SlideBatcher:
         if self.query.time_based:
             return self._push_time_based(obj)
         return self._push_count_based(obj)
+
+    def push_batch(self, objects: Sequence[StreamObject]) -> List[SlideEvent]:
+        """Feed a batch of objects at once; return the events it completes.
+
+        Equivalent to pushing each object individually, but the count-based
+        path advances in whole-slide strides, so the multi-query engine can
+        move a chunk of stream through a query group with one call instead
+        of one dispatch per object per query.
+        """
+        if self.query.time_based:
+            events: List[SlideEvent] = []
+            for obj in objects:
+                events.extend(self._push_time_based(obj))
+            return events
+        return self._push_count_batch(objects)
 
     def flush(self) -> List[SlideEvent]:
         """Emit the final report of a time-based window (if any)."""
@@ -155,6 +171,30 @@ class SlideBatcher:
             return []
         expired = self._window.expire_oldest(self.query.s)
         return [self._emit(expirations=expired)]
+
+    def _push_count_batch(self, objects: Sequence[StreamObject]) -> List[SlideEvent]:
+        events: List[SlideEvent] = []
+        window, query = self._window, self.query
+        total = len(objects)
+        position = 0
+        while position < total:
+            if not self._filled:
+                take = min(query.n - len(window), total - position)
+            else:
+                take = min(query.s - len(self._pending), total - position)
+            chunk = objects[position : position + take]
+            for obj in chunk:
+                window.append(obj)
+            self._pending.extend(chunk)
+            position += take
+            if not self._filled:
+                if len(window) == query.n:
+                    self._filled = True
+                    events.append(self._emit(expirations=[]))
+            elif len(self._pending) == query.s:
+                expired = window.expire_oldest(query.s)
+                events.append(self._emit(expirations=expired))
+        return events
 
     def _push_time_based(self, obj: StreamObject) -> List[SlideEvent]:
         events: List[SlideEvent] = []

@@ -1,19 +1,24 @@
 """Push-based execution facade: :class:`StreamEngine` and friends.
 
 This package is the library's single execution path.  See
-:mod:`repro.engine.engine` for the facade, :mod:`repro.engine.spec` for the
-query builder, and :mod:`repro.engine.subscription` for the per-query
+:mod:`repro.engine.engine` for the facade, :mod:`repro.engine.group` for
+the shared multi-query plane (one :class:`QueryGroup` per window shape,
+with cross-query sharing plans at ``k_max``), :mod:`repro.engine.spec` for
+the query builder, and :mod:`repro.engine.subscription` for the per-query
 handle.  The legacy one-shot helpers (:func:`repro.run_algorithm`,
 :func:`repro.compare_algorithms`, :class:`repro.MultiQueryEngine`) are thin
 wrappers over these classes.
 """
 
 from .engine import StreamEngine
+from .group import QueryGroup, group_key_for
 from .spec import QuerySpec, resolve_query
 from .subscription import ResultCallback, Subscription
 
 __all__ = [
     "StreamEngine",
+    "QueryGroup",
+    "group_key_for",
     "QuerySpec",
     "resolve_query",
     "Subscription",

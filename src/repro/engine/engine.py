@@ -15,15 +15,24 @@ describe queries with :class:`~repro.engine.spec.QuerySpec` (or a plain
             alert(result)
     engine.close()
 
-Memory stays O(window) per subscription: the engine holds one partially
-filled slide batcher per query and whatever answers the caller asked it to
-retain — nothing else.  ``push_many`` consumes any iterable lazily, so a
-generator of millions of objects flows through in constant space.
+Internally the engine buckets subscriptions into
+:class:`~repro.engine.group.QueryGroup` objects, one per window shape
+``(n, s, window type)``: each group batches slides, fills and expires its
+window exactly once, and — for algorithms that support it — shares one
+partition-sealing / candidate-core pipeline at the group's largest ``k``
+across all member queries (see :mod:`repro.core.shared`).  Queries that
+share a window shape therefore cost far less than independent engines,
+which is the whole point of fanning one stream out to many users.
+
+Memory stays O(window) per window *shape* plus whatever answers the caller
+asked to retain.  ``push_many`` consumes any iterable lazily in
+slide-sized chunks, so a generator of millions of objects flows through in
+constant space.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from ..core.exceptions import AlgorithmStateError
 from ..core.interface import ContinuousTopKAlgorithm
@@ -31,6 +40,7 @@ from ..core.object import StreamObject
 from ..core.query import TopKQuery
 from ..core.result import TopKResult
 from ..registry import create_algorithm
+from .group import GroupKey, QueryGroup, group_key_for
 from .spec import QuerySpec, resolve_query
 from .subscription import ResultCallback, Subscription
 
@@ -38,13 +48,25 @@ from .subscription import ResultCallback, Subscription
 #: instance, or any factory/class called as ``factory(query, **options)``.
 AlgorithmLike = Union[str, ContinuousTopKAlgorithm, Callable[..., ContinuousTopKAlgorithm]]
 
+#: Default chunk size of ``push_many``: objects are drained from the input
+#: iterable in chunks of this many and moved through each query group with
+#: one call, instead of one full dispatch per object per subscription.
+PUSH_MANY_CHUNK = 256
+
 
 class StreamEngine:
     """Shared, push-based execution of any number of continuous queries."""
 
-    def __init__(self, *, keep_results: bool = True) -> None:
+    def __init__(self, *, keep_results: bool = True, return_results: bool = True) -> None:
+        """``keep_results`` is the default retention policy of new
+        subscriptions; ``return_results=False`` additionally makes
+        :meth:`push` / :meth:`flush` return empty mappings without
+        building them, for hot loops that only consume callbacks."""
         self._subscriptions: Dict[str, Subscription] = {}
+        self._groups: List[QueryGroup] = []
+        self._open_groups: Dict[GroupKey, QueryGroup] = {}
         self._default_keep_results = keep_results
+        self._return_results = return_results
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -86,6 +108,11 @@ class StreamEngine:
         on_result:
             Optional callback invoked as ``callback(name, result)`` for
             every answer.
+
+        The subscription joins the query group of its window shape.  A
+        group that has already consumed stream objects is full: the new
+        subscription then opens a fresh group (its window starts empty),
+        and only queries subscribed before the first push share state.
         """
         self._ensure_open()
         if name in self._subscriptions:
@@ -101,6 +128,7 @@ class StreamEngine:
         )
         if on_result is not None:
             subscription.on_result(on_result)
+        self._group_for(instance.query).add(subscription)
         self._subscriptions[name] = subscription
         return subscription
 
@@ -110,6 +138,13 @@ class StreamEngine:
         if subscription is None:
             raise KeyError(f"no subscription named {name!r}")
         subscription.close()
+        group = subscription.group
+        if group is not None:
+            group.remove(subscription)
+            if not len(group):
+                self._groups.remove(group)
+                if self._open_groups.get(group.key) is group:
+                    del self._open_groups[group.key]
 
     def subscription(self, name: str) -> Subscription:
         try:
@@ -122,6 +157,10 @@ class StreamEngine:
     def subscriptions(self) -> List[str]:
         """Names of every subscription, in registration order."""
         return list(self._subscriptions)
+
+    def groups(self) -> List[Dict[str, object]]:
+        """Description of every query group and its shared plans."""
+        return [group.describe() for group in self._groups]
 
     def __contains__(self, name: object) -> bool:
         return name in self._subscriptions
@@ -136,39 +175,77 @@ class StreamEngine:
         """Feed one object to every open subscription.
 
         Returns, per query name, the answers (possibly none) whose windows
-        were completed by this object.
+        were completed by this object.  With ``return_results=False`` the
+        mapping is never built and an empty dict is returned; callbacks
+        and retained results are unaffected.
         """
         self._ensure_open()
         if not self._subscriptions:
             raise ValueError("no queries subscribed")
-        produced: Dict[str, List[TopKResult]] = {}
-        for subscription in self._subscriptions.values():
-            new_results = subscription._process(obj)
-            if new_results:
-                produced[subscription.name] = new_results
-        return produced
+        collect = self._return_results
+        produced = None
+        # Snapshot: result callbacks may unsubscribe (mutating the list).
+        for group in tuple(self._groups):
+            for subscription, results in group.push(obj, collect=collect):
+                if produced is None:
+                    produced = {}
+                produced[subscription.name] = results
+        return self._ordered(produced)
 
-    def push_many(self, objects: Iterable[StreamObject]) -> int:
+    def push_many(
+        self, objects: Iterable[StreamObject], *, chunk_size: int = PUSH_MANY_CHUNK
+    ) -> int:
         """Feed any iterable of objects, lazily; return how many were pushed.
 
-        The iterable is never materialised — a generator of arbitrarily many
-        objects streams through in O(window) memory.
+        The iterable is never materialised — it is drained in chunks of
+        ``chunk_size`` objects that move through each query group with a
+        single batched call, so arbitrarily long generators stream through
+        in O(window) memory with none of ``push``'s per-object dispatch.
+        Answers are not collected (use callbacks, ``results()``, or
+        ``drain()``); they are produced in the same order as with ``push``.
         """
+        self._ensure_open()
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         count = 0
+        chunk: List[StreamObject] = []
         for obj in objects:
-            self.push(obj)
-            count += 1
+            chunk.append(obj)
+            if len(chunk) >= chunk_size:
+                count += self._push_chunk(chunk)
+                chunk = []
+        if chunk:
+            count += self._push_chunk(chunk)
         return count
+
+    def _push_chunk(self, chunk: List[StreamObject]) -> int:
+        if not self._subscriptions:
+            raise ValueError("no queries subscribed")
+        for group in tuple(self._groups):
+            group.push_batch(chunk, collect=False)
+        return len(chunk)
 
     def flush(self) -> Dict[str, List[TopKResult]]:
         """Emit the end-of-stream report of time-based windows (if any)."""
         self._ensure_open()
-        produced: Dict[str, List[TopKResult]] = {}
-        for subscription in self._subscriptions.values():
-            new_results = subscription._flush()
-            if new_results:
-                produced[subscription.name] = new_results
-        return produced
+        collect = self._return_results
+        produced = None
+        for group in tuple(self._groups):
+            for subscription, results in group.flush(collect=collect):
+                if produced is None:
+                    produced = {}
+                produced[subscription.name] = results
+        return self._ordered(produced)
+
+    def _ordered(
+        self, produced: Optional[Dict[str, List[TopKResult]]]
+    ) -> Dict[str, List[TopKResult]]:
+        """Re-key group-major results into subscription registration order."""
+        if not produced:
+            return {}
+        if len(produced) == 1:
+            return produced
+        return {name: produced[name] for name in self._subscriptions if name in produced}
 
     # ------------------------------------------------------------------
     # Reading answers and state
@@ -216,6 +293,15 @@ class StreamEngine:
     def _ensure_open(self) -> None:
         if self._closed:
             raise AlgorithmStateError("the engine is closed")
+
+    def _group_for(self, query: TopKQuery) -> QueryGroup:
+        key = group_key_for(query)
+        group = self._open_groups.get(key)
+        if group is None or group.started:
+            group = QueryGroup(query.n, query.s, query.time_based)
+            self._groups.append(group)
+            self._open_groups[key] = group
+        return group
 
     @staticmethod
     def _resolve_algorithm(

@@ -1,0 +1,191 @@
+"""Query groups: the shared multi-query execution plane of the engine.
+
+A :class:`QueryGroup` holds every subscription whose query shares one
+window shape ``(n, s, window type)``.  The group owns the *single* slide
+batcher for that shape — window filling, slide batching, and expiry happen
+exactly once per slide, no matter how many queries watch the shape — and
+fans each sealed slide event out to its members.
+
+On its first slide the group additionally buckets members by their
+algorithm's :meth:`~repro.core.interface.ContinuousTopKAlgorithm.shared_plan_key`
+and forms a :class:`~repro.core.shared.SharedPlan` for every bucket with at
+least two members: SAP queries share one partition-sealing pipeline at
+``k_max``, k-skyband and MinTopK queries share one candidate core at
+``k_max``.  Algorithms without a plan (or alone in their bucket) process
+the raw events exactly as before, so mixing sharable and unsharable
+queries in one group is always safe.
+
+Membership is fixed once the group has started consuming the stream: a
+subscription added later must see an *empty* window, so the engine opens a
+fresh group of the same shape for it instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.exceptions import AlgorithmStateError
+from ..core.object import StreamObject
+from ..core.query import TopKQuery
+from ..core.result import TopKResult
+from ..core.shared import SharedPlan, SharedSlide
+from ..core.window import SlideBatcher, SlideEvent
+from .subscription import Subscription
+
+#: Group key: window size, slide, and window type.
+GroupKey = Tuple[int, int, bool]
+
+
+def group_key_for(query: TopKQuery) -> GroupKey:
+    """The window shape a query is grouped by (everything but ``k``/``F``)."""
+    return (query.n, query.s, query.time_based)
+
+
+class QueryGroup:
+    """All subscriptions sharing one window shape on a stream engine."""
+
+    def __init__(self, n: int, s: int, time_based: bool) -> None:
+        self.n = n
+        self.s = s
+        self.time_based = time_based
+        # The batcher only consults n, s, and the window type; k is
+        # irrelevant to window movement, so a placeholder of 1 is used.
+        self._batcher = SlideBatcher(TopKQuery(n=n, k=1, s=s, time_based=time_based))
+        self._members: List[Subscription] = []
+        self._plans: List[SharedPlan] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> GroupKey:
+        return (self.n, self.s, self.time_based)
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def members(self) -> List[Subscription]:
+        return list(self._members)
+
+    def add(self, subscription: Subscription) -> None:
+        if self._started:
+            raise AlgorithmStateError(
+                "cannot join a query group that has started consuming the stream"
+            )
+        self._members.append(subscription)
+        subscription._attach_group(self)
+
+    def remove(self, subscription: Subscription) -> None:
+        if subscription in self._members:
+            self._members.remove(subscription)
+        for plan in self._plans:
+            plan.discard(subscription)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def window_size(self) -> int:
+        """Number of stream objects currently buffered for this shape."""
+        return self._batcher.window_size()
+
+    # ------------------------------------------------------------------
+    # Plan formation
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Freeze membership and form the shared plans (first push)."""
+        if self._started:
+            return
+        self._started = True
+        buckets: Dict[object, List[Subscription]] = {}
+        for subscription in self._members:
+            key = subscription.algorithm.shared_plan_key()
+            if key is None:
+                continue
+            buckets.setdefault(key, []).append(subscription)
+        for bucket in buckets.values():
+            if len(bucket) < 2:
+                # A lone member gains nothing from a plan; it keeps its
+                # fully independent execution path (and its exact legacy
+                # per-slide accounting).
+                continue
+            plan = bucket[0].algorithm.build_shared_plan(bucket)
+            if plan is not None:
+                self._plans.append(plan)
+
+    def plans(self) -> List[SharedPlan]:
+        return list(self._plans)
+
+    def describe(self) -> Dict[str, object]:
+        """Introspection record shown by ``StreamEngine.groups()``."""
+        kind = "time-based" if self.time_based else "count-based"
+        return {
+            "n": self.n,
+            "s": self.s,
+            "window": kind,
+            "members": [subscription.name for subscription in self._members],
+            "plans": [plan.describe() for plan in self._plans],
+        }
+
+    # ------------------------------------------------------------------
+    # Ingestion (driven by the engine)
+    # ------------------------------------------------------------------
+    def push(
+        self, obj: StreamObject, collect: bool = True
+    ) -> Sequence[Tuple[Subscription, List[TopKResult]]]:
+        """Feed one object; return each member's newly completed answers.
+
+        ``collect=False`` skips gathering the answers entirely (callbacks
+        and retention still run) and always returns an empty sequence.
+        """
+        if not self._started:
+            self.start()
+        return self._dispatch(self._batcher.push(obj), collect)
+
+    def push_batch(
+        self, objects: Sequence[StreamObject], collect: bool = True
+    ) -> Sequence[Tuple[Subscription, List[TopKResult]]]:
+        """Feed a chunk of objects through the shared batcher at once."""
+        if not self._started:
+            self.start()
+        return self._dispatch(self._batcher.push_batch(objects), collect)
+
+    def flush(
+        self, collect: bool = True
+    ) -> Sequence[Tuple[Subscription, List[TopKResult]]]:
+        """Emit the end-of-stream report of a time-based window (if any)."""
+        if not self._started:
+            self.start()
+        return self._dispatch(self._batcher.flush(), collect)
+
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, events: Sequence[SlideEvent], collect: bool = True
+    ) -> Sequence[Tuple[Subscription, List[TopKResult]]]:
+        if not events:
+            return ()
+        produced: Dict[Subscription, List[TopKResult]] = {}
+        for event in events:
+            shared_for: Dict[int, SharedSlide] = {}
+            for plan in self._plans:
+                if not plan.has_open_members():
+                    continue
+                shared = plan.prepare(event)
+                for subscription in plan.subscriptions():
+                    shared_for[id(subscription)] = shared
+            # Snapshot: a result callback may unsubscribe a member (which
+            # mutates self._members) without desyncing this dispatch.
+            for subscription in tuple(self._members):
+                result = subscription._deliver_slide(
+                    event, shared_for.get(id(subscription))
+                )
+                if collect and result is not None:
+                    produced.setdefault(subscription, []).append(result)
+        if not collect:
+            return ()
+        return [
+            (subscription, produced[subscription])
+            for subscription in self._members
+            if subscription in produced
+        ]

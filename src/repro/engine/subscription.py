@@ -1,10 +1,15 @@
 """One continuous query attached to a :class:`~repro.engine.StreamEngine`.
 
-A subscription owns everything one query needs on the shared stream: the
-algorithm instance, the incremental slide batcher that turns pushed objects
-into window movements, the metric aggregates, the retained answers, and the
-result callbacks.  Its memory footprint is O(window): the batcher holds at
-most one window of objects and the result buffer is bounded whenever the
+A subscription owns everything one query needs *beyond* the shared window
+machinery: the algorithm instance, the metric aggregates, the retained
+answers, and the result callbacks.  Slide batching lives in the query
+group the engine assigns the subscription to (all queries of one window
+shape share a single batcher), which delivers sealed slide events — plus
+the group's precomputed shared artifacts, when the algorithm participates
+in a shared plan — through :meth:`_deliver_slide`.
+
+Memory stays O(window): the group batcher holds at most one window of
+objects for the whole shape and the result buffer is bounded whenever the
 caller bounds it (``result_buffer=...``) or disables retention
 (``keep_results=False``).
 """
@@ -13,13 +18,16 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Callable, Deque, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
 from ..core.interface import ContinuousTopKAlgorithm
 from ..core.metrics import MetricsCollector
-from ..core.object import StreamObject
 from ..core.result import TopKResult
-from ..core.window import SlideBatcher
+from ..core.shared import SharedSlide
+from ..core.window import SlideEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .group import QueryGroup
 
 ResultCallback = Callable[[str, TopKResult], None]
 
@@ -43,7 +51,7 @@ class Subscription:
         self.name = name
         self.algorithm = algorithm
         self.query = algorithm.query
-        self._batcher = SlideBatcher(algorithm.query)
+        self._group: Optional["QueryGroup"] = None
         self._metrics = MetricsCollector()
         self._collect_metrics = collect_metrics
         self._keep_results = keep_results
@@ -68,7 +76,7 @@ class Subscription:
         """The most recent answer, or ``None`` before the window first fills."""
         return self._results[-1] if self._results else None
 
-    def drain(self) -> Iterator[TopKResult]:
+    def drain(self):
         """Yield and discard retained answers, oldest first.
 
         Draining keeps consumption O(1) on unbounded streams: answers pulled
@@ -93,9 +101,14 @@ class Subscription:
         """Total answers produced so far (regardless of retention)."""
         return self._delivered
 
+    @property
+    def group(self) -> Optional["QueryGroup"]:
+        """The query group (window shape bucket) this subscription joined."""
+        return self._group
+
     def window_size(self) -> int:
         """Number of stream objects currently buffered by the window."""
-        return self._batcher.window_size()
+        return self._group.window_size() if self._group is not None else 0
 
     def snapshot(self) -> Dict[str, object]:
         """Point-in-time view of the subscription's state."""
@@ -128,7 +141,7 @@ class Subscription:
         }
 
     # ------------------------------------------------------------------
-    # Lifecycle (driven by the engine)
+    # Lifecycle (driven by the engine and its query groups)
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop receiving objects; retained results stay readable."""
@@ -136,22 +149,29 @@ class Subscription:
             self._closed = True
             self.algorithm.close()
 
-    def _process(self, obj: StreamObject) -> List[TopKResult]:
-        """Feed one object; return the answers it completed (0+)."""
-        if self._closed:
-            return []
-        return [self._deliver(event) for event in self._batcher.push(obj)]
+    def _attach_group(self, group: "QueryGroup") -> None:
+        self._group = group
 
-    def _flush(self) -> List[TopKResult]:
-        """Emit the end-of-stream report of a time-based window (if any)."""
-        if self._closed:
-            return []
-        return [self._deliver(event) for event in self._batcher.flush()]
+    def _deliver_slide(
+        self, event: SlideEvent, shared: Optional[SharedSlide] = None
+    ) -> Optional[TopKResult]:
+        """Process one sealed slide; return the answer (None when closed).
 
-    def _deliver(self, event) -> TopKResult:
+        ``shared`` carries the artifacts precomputed by this subscription's
+        shared plan, if it belongs to one; the per-slide latency then also
+        includes this member's share of the plan's preparation time, so
+        aggregate timings still account for the shared work.
+        """
+        if self._closed:
+            return None
         started = time.perf_counter()
-        result = self.algorithm.process_slide(event)
+        if shared is not None:
+            result = self.algorithm.process_shared_slide(shared)
+        else:
+            result = self.algorithm.process_slide(event)
         latency = time.perf_counter() - started
+        if shared is not None:
+            latency += shared.prep_share
         if self._collect_metrics:
             self._metrics.record(
                 self.algorithm.candidate_count(), self.algorithm.memory_bytes(), latency

@@ -54,6 +54,32 @@ class Partitioner(ABC):
         """Hook for subclasses to derive per-query constants."""
 
     # ------------------------------------------------------------------
+    # Multi-query sharing
+    # ------------------------------------------------------------------
+    def plan_key(self) -> tuple:
+        """Configuration key deciding which SAP queries may share sealing.
+
+        Two SAP instances whose partitioners return equal keys seal
+        identical partition runs for the same arrivals (up to the ``k``
+        they are bound to), so a query group can run one sealer for all of
+        them.  The key must be derived from the *requested* configuration,
+        not from quantities resolved against the bound query — those
+        depend on ``k``, which sharing deliberately varies.
+        """
+        return (type(self).__name__,)
+
+    def spawn(self) -> "Partitioner":
+        """A fresh, unbound partitioner with this instance's configuration.
+
+        Used by the shared multi-query plane to create the group-level
+        sealer: the clone is bound to the group's ``k_max`` query instead
+        of any individual member's.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support shared sealing"
+        )
+
+    # ------------------------------------------------------------------
     @abstractmethod
     def observe(self, batch: Sequence[StreamObject]) -> List[PartitionSpec]:
         """Feed one slide of arrivals; return the partitions sealed by it."""

@@ -65,6 +65,15 @@ class DynamicPartitioner(Partitioner):
         self._units = []
         self._current = []
 
+    # ------------------------------------------------------------------
+    def plan_key(self) -> tuple:
+        # Covers EnhancedDynamicPartitioner too: the subclass adds TBUI
+        # bookkeeping but no extra configuration.
+        return (type(self).__name__, self._alpha)
+
+    def spawn(self) -> "DynamicPartitioner":
+        return type(self)(alpha=self._alpha)
+
     @property
     def unit_size(self) -> int:
         return self._unit_size

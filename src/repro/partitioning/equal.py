@@ -56,6 +56,13 @@ class EqualPartitioner(Partitioner):
         return self._partition_size
 
     # ------------------------------------------------------------------
+    def plan_key(self) -> tuple:
+        return (type(self).__name__, self._requested_m)
+
+    def spawn(self) -> "EqualPartitioner":
+        return EqualPartitioner(m=self._requested_m)
+
+    # ------------------------------------------------------------------
     def observe(self, batch: Sequence[StreamObject]) -> List[PartitionSpec]:
         self._pending.extend(batch)
         specs: List[PartitionSpec] = []

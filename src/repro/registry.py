@@ -27,7 +27,7 @@ algorithm class works directly because its constructor has that shape.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from .core.interface import ContinuousTopKAlgorithm
 from .core.query import TopKQuery

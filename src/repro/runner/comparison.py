@@ -5,10 +5,15 @@ things: run every algorithm on an identical stream, and check that the
 answers agree window by window (they must — all algorithms are exact).
 
 The comparison subscribes every algorithm to one
-:class:`repro.engine.StreamEngine`, so the stream is consumed in a single
-lazy pass instead of once per algorithm.  Each algorithm's elapsed time is
-the sum of its own per-slide processing latencies, which keeps the timings
-attributable even though the pass is shared.
+:class:`repro.engine.StreamEngine`, so all runs form a single query group
+(they share the window shape) and the stream is consumed in a single lazy
+pass with one slide batcher instead of once per algorithm.  Each
+algorithm's elapsed time is the sum of its own per-slide processing
+latencies, which keeps the timings attributable even though the pass is
+shared.  Distinct algorithms never share an execution plan (their plan
+keys differ), so the per-algorithm numbers stay comparable; duplicate
+configurations of the *same* algorithm do share one, with the shared
+preparation time split evenly across them.
 """
 
 from __future__ import annotations

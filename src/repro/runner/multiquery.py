@@ -12,6 +12,7 @@ algorithm lookup, callbacks, snapshots, and bounded result retention).
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List
 
 from ..core.interface import ContinuousTopKAlgorithm
@@ -24,10 +25,19 @@ class MultiQueryEngine:
     """Shared-stream execution of several continuous top-k queries.
 
     Deprecated facade kept for backward compatibility; wraps
-    :class:`repro.engine.StreamEngine`.
+    :class:`repro.engine.StreamEngine` (which additionally groups
+    co-windowed queries onto shared execution plans).  Constructing it
+    emits a :class:`DeprecationWarning`.
     """
 
     def __init__(self, keep_results: bool = True) -> None:
+        warnings.warn(
+            "MultiQueryEngine is deprecated; subscribe queries on "
+            "repro.StreamEngine instead (it shares one pass *and* one "
+            "execution plan per window shape)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._engine = StreamEngine(keep_results=keep_results)
 
     # ------------------------------------------------------------------

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Optional, Set, Tuple
 
-from ..core.object import StreamObject
 from ..core.partition import Partition
 from .savl import SAVL
 

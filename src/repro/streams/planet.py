@@ -11,7 +11,6 @@ correlation of observation distances in the real catalogue.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
 from typing import Iterator, Tuple

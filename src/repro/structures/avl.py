@@ -245,21 +245,32 @@ class AVLTree:
     # ------------------------------------------------------------------
     # Iteration
     # ------------------------------------------------------------------
+    # An explicit stack instead of recursive generators: ``yield from``
+    # chains cost O(depth) per yielded item and these walks sit on the
+    # per-slide hot path of every algorithm (candidate scans, top-k reads).
     def items(self) -> Iterator[Tuple[Any, Any]]:
         """Ascending-key iteration."""
-        yield from self._walk(self._root, ascending=True)
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
 
     def items_descending(self) -> Iterator[Tuple[Any, Any]]:
         """Descending-key iteration."""
-        yield from self._walk(self._root, ascending=False)
-
-    def _walk(self, node: Optional[_Node], ascending: bool) -> Iterator[Tuple[Any, Any]]:
-        if node is None:
-            return
-        first, second = (node.left, node.right) if ascending else (node.right, node.left)
-        yield from self._walk(first, ascending)
-        yield node.key, node.value
-        yield from self._walk(second, ascending)
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.right
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.left
 
     def keys(self) -> List[Any]:
         return [key for key, _ in self.items()]

@@ -3,7 +3,6 @@
 from repro.core.candidates import CandidateSet
 from repro.core.object import StreamObject
 
-from ..conftest import make_objects
 
 
 def _obj(score, t):

@@ -11,7 +11,7 @@ from repro.partitioning.dynamic import DynamicPartitioner
 from repro.partitioning.enhanced import EnhancedDynamicPartitioner
 from repro.partitioning.equal import EqualPartitioner
 
-from ..conftest import make_objects, random_scores
+from ..conftest import make_objects
 
 
 def _run(algorithm, objects):

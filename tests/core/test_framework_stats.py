@@ -4,7 +4,6 @@ from repro.core.framework import SAPTopK
 from repro.core.query import TopKQuery
 from repro.partitioning import EqualPartitioner
 
-from ..conftest import make_objects, random_scores
 
 
 def _run(sap, objects):

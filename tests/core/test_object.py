@@ -1,6 +1,5 @@
 """Unit tests for the stream-object data model and its total order."""
 
-import pytest
 
 from repro.core.object import StreamObject, kth_score, sort_by_rank, top_k
 

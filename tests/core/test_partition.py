@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.object import StreamObject, top_k
+from repro.core.object import top_k
 from repro.core.partition import Partition, PartitionSpec, UnitSummary, build_partition
 
 from ..conftest import make_objects, random_scores

@@ -89,7 +89,9 @@ class TestRegistration:
             register_algorithm("SAP")(lambda query: SAPTopK(query))
 
     def test_replace_and_unregister(self):
-        sentinel = lambda query: SAPTopK(query)
+        def sentinel(query):
+            return SAPTopK(query)
+
         register_algorithm("test-tmp")(sentinel)
         register_algorithm("test-tmp", replace=True)(sentinel)
         unregister_algorithm("test-tmp")

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.object import StreamObject, top_k
+from repro.core.object import top_k
 from repro.savl.savl import SAVL
 from repro.stats.dominance import k_skyband, k_skyband_brute_force
 from repro.stats.mannwhitney import rank_sum, rank_sum_test

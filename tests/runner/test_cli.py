@@ -64,3 +64,41 @@ class TestCommands:
         assert exit_code == 0
         assert "agreement : True" in captured
         assert "MinTopK" in captured and "k-skyband" in captured
+
+    def test_multi_command_reports_shared_plan(self, capsys):
+        exit_code = main(
+            ["multi", "--dataset", "STOCK", "--objects", "900", "--n", "150",
+             "--s", "30", "--k", "3", "6", "9", "--algorithm", "SAP"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "SAP at k_max=9 shared by 3 queries" in captured
+        assert "top-3" in captured and "top-9" in captured
+
+    def test_multi_command_baseline_speedup(self, capsys):
+        exit_code = main(
+            ["multi", "--dataset", "TIMEU", "--objects", "600", "--n", "100",
+             "--s", "20", "--k", "2", "5", "--algorithm", "k-skyband", "--baseline"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "k-skyband at k_max=5 shared by 2 queries" in captured
+        assert "speedup from sharing" in captured
+
+    def test_multi_command_deduplicates_clamped_k(self, capsys):
+        # Both --k values clamp to n=20: the subscriptions must still get
+        # unique names instead of crashing on a duplicate.
+        exit_code = main(
+            ["multi", "--dataset", "TIMEU", "--objects", "200", "--n", "20",
+             "--s", "10", "--k", "30", "40"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "top-20" in captured and "top-20#2" in captured
+
+    def test_multi_parser_defaults(self):
+        args = build_parser().parse_args(["multi"])
+        assert args.command == "multi"
+        assert args.k == [5, 10, 20, 50]
+        assert args.algorithm == "SAP"
+        assert not args.baseline

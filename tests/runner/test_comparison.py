@@ -4,7 +4,6 @@ from repro.baselines.brute_force import BruteForceTopK
 from repro.baselines.kskyband import KSkybandTopK
 from repro.core.framework import SAPTopK
 from repro.core.interface import ContinuousTopKAlgorithm
-from repro.core.object import top_k
 from repro.core.query import TopKQuery
 from repro.core.result import TopKResult
 from repro.runner.comparison import compare_algorithms
@@ -67,7 +66,10 @@ class TestDuplicateDisplayNames:
     def test_same_named_configurations_both_reported_and_checked(self):
         query = TopKQuery(n=60, k=4, s=6)
         objects = make_objects(random_scores(240, seed=5))
-        same = lambda q: SAPTopK(q)
+
+        def same(q):
+            return SAPTopK(q)
+
         outcome = compare_algorithms([same, same], objects, query)
         # Both runs keep their own report (the second gets a "#2" suffix),
         # so the agreement check actually compares them.

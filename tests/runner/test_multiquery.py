@@ -12,6 +12,24 @@ from repro.runner.multiquery import MultiQueryEngine
 
 from ..conftest import make_objects, random_scores
 
+# The class is deprecated (see TestDeprecation); the behavioural tests
+# below silence the construction warning they necessarily trigger.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:MultiQueryEngine is deprecated:DeprecationWarning"
+)
+
+
+class TestDeprecation:
+    @pytest.mark.filterwarnings("error::DeprecationWarning")
+    def test_construction_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="MultiQueryEngine is deprecated"):
+            MultiQueryEngine()
+
+    @pytest.mark.filterwarnings("error::DeprecationWarning")
+    def test_warning_names_the_replacement(self):
+        with pytest.warns(DeprecationWarning, match="StreamEngine"):
+            MultiQueryEngine(keep_results=False)
+
 
 class TestRegistration:
     def test_duplicate_names_rejected(self):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.object import top_k
 from repro.core.partition import build_partition
 from repro.savl.amortized import AmortizedSAVLBuilder
 from repro.savl.savl import SAVL

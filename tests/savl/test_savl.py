@@ -1,6 +1,5 @@
 """Unit tests for the baseline S-AVL structure."""
 
-import random
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.object import StreamObject, top_k
+from repro.core.object import top_k
 from repro.core.partition import UnitSummary, build_partition
 from repro.savl.segmented import SegmentedSAVL
 from repro.stats.dominance import k_skyband
