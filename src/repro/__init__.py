@@ -71,6 +71,7 @@ from .registry import (
     create_algorithm,
     register_algorithm,
 )
+from .control import AdaptiveController, Knowledge, Policy
 from .engine import QueryGroup, QuerySpec, StreamEngine, Subscription
 from .runner import MultiQueryEngine, RunReport, compare_algorithms, run_algorithm
 
@@ -103,6 +104,9 @@ __all__ = [
     "QueryGroup",
     "QuerySpec",
     "Subscription",
+    "AdaptiveController",
+    "Knowledge",
+    "Policy",
     "AlgorithmInfo",
     "register_algorithm",
     "create_algorithm",

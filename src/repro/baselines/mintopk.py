@@ -26,7 +26,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Hashable, List, Sequence, Tuple
 
-from ..core.exceptions import InvalidQueryError
+from ..core.exceptions import AlgorithmStateError, InvalidQueryError
 from ..core.interface import (
     OBJECT_FOOTPRINT_BYTES,
     POINTER_FOOTPRINT_BYTES,
@@ -83,6 +83,20 @@ class MinTopK(SharedCoreMember, ContinuousTopKAlgorithm):
             len(self._pool) * OBJECT_FOOTPRINT_BYTES
             + (predicted_refs + lbp_pointers) * POINTER_FOOTPRINT_BYTES
         )
+
+    # ------------------------------------------------------------------
+    def fast_forward(self, slide_index: int) -> None:
+        """Align the predicted-result-set clock for a mid-stream rebuild.
+
+        Without this, replaying a full window as one synthetic event would
+        build predicted sets for window positions that were already
+        reported (and will never be popped), leaking pool entries.
+        """
+        if self._pool or self._predicted:
+            raise AlgorithmStateError(
+                "cannot fast-forward a MinTopK instance that has state"
+            )
+        self._next_report = slide_index
 
     # ------------------------------------------------------------------
     def process_slide(self, event: SlideEvent) -> TopKResult:

@@ -84,10 +84,34 @@ FULL_SCALE = BenchScale(
 )
 
 
+#: Tiny scale for CI smoke jobs: a stream of a few thousand objects still
+#: exercises every code path (window fills, partitions seal, the control
+#: plane's analyzers see enough slides to fire) in a couple of seconds,
+#: but the measured ratios are too noisy to compare against the paper.
+SMOKE_SCALE = BenchScale(
+    name="smoke",
+    stream_length=3_000,
+    default_n=400,
+    default_k=10,
+    default_s=20,
+    n_values=(400,),
+    k_values=(10,),
+    s_values=(20,),
+    m_values=(1, 3),
+    highspeed_n=600,
+    highspeed_k=20,
+    highspeed_s=100,
+)
+
+
 def scale_from_env() -> BenchScale:
-    """Pick the benchmark scale from ``REPRO_BENCH_SCALE`` (quick/full)."""
+    """Pick the benchmark scale from ``REPRO_BENCH_SCALE`` (smoke/quick/full)."""
     value = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
-    return FULL_SCALE if value == "full" else QUICK_SCALE
+    if value == "full":
+        return FULL_SCALE
+    if value == "smoke":
+        return SMOKE_SCALE
+    return QUICK_SCALE
 
 
 @lru_cache(maxsize=16)

@@ -1,6 +1,6 @@
 """Command-line interface of the reproduction library.
 
-Three subcommands are provided:
+Four subcommands are provided:
 
 ``run``
     Run one algorithm over one of the built-in datasets and print the
@@ -17,20 +17,29 @@ Three subcommands are provided:
     ``k_max`` execution plan) and print per-query statistics plus the
     plane's throughput against independent engines.
 
+``control``
+    Run a workload under the adaptive control plane (:mod:`repro.control`)
+    and print the adaptation event log — which tactics fired, what
+    triggered them, and at which slide — plus latency percentiles and the
+    load-shedding accuracy account.  ``--json`` dumps the full record.
+
 Examples::
 
     python -m repro run --dataset STOCK --n 1000 --k 10 --s 50
     python -m repro compare --dataset TIMER --n 1000 --k 20 --s 50 \
         --algorithms SAP MinTopK k-skyband
     python -m repro multi --dataset STOCK --n 1000 --s 50 --k 5 10 20 50
+    python -m repro control --dataset DRIFT --objects 12000 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import time
 from typing import Callable, Dict, Optional, Sequence
 
+from .control import AdaptiveController, Policy
 from .core.interface import ContinuousTopKAlgorithm
 from .core.query import TopKQuery
 from .engine import StreamEngine
@@ -118,6 +127,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         action="store_true",
         help="also run each query on its own engine and report the speedup",
+    )
+
+    control_parser = subparsers.add_parser(
+        "control", help="run a workload under the adaptive control plane"
+    )
+    add_common(control_parser)
+    control_parser.set_defaults(dataset="DRIFT", objects=12_000)
+    control_parser.add_argument(
+        "--algorithm",
+        default="SAP",
+        choices=sorted(algorithm_factories()),
+        help="algorithm the workload starts on (tactics may change it)",
+    )
+    control_parser.add_argument(
+        "--policy",
+        default=None,
+        metavar="PATH",
+        help="JSON policy file (see examples/control_policy.json); "
+        "default: the built-in drift/blowup policy",
+    )
+    control_parser.add_argument(
+        "--latency-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-slide latency budget for the latency analyzer "
+        "(with --policy, overrides the file's budget)",
+    )
+    control_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the adaptation log and statistics as JSON",
     )
     return parser
 
@@ -214,6 +255,85 @@ def _command_multi(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_control(args: argparse.Namespace) -> int:
+    query = _query_from_args(args)
+    stream = make_dataset(args.dataset).take(args.objects)
+    if args.policy is not None:
+        policy = Policy.from_file(args.policy)
+        if args.latency_budget is not None:
+            # The flag overrides (or supplies) the file's budget; make sure
+            # the latency analyzer actually runs so the budget has effect.
+            from .control.policy import DEFAULT_LATENCY_ANALYZER
+
+            policy.latency_budget_seconds = args.latency_budget
+            policy.analyzer_config.setdefault(
+                "latency", dict(DEFAULT_LATENCY_ANALYZER)
+            )
+    else:
+        policy = Policy.default(latency_budget_seconds=args.latency_budget)
+
+    engine = StreamEngine(keep_results=False, return_results=False)
+    subscription = engine.subscribe("watch", query, algorithm=args.algorithm)
+    controller = AdaptiveController(policy)
+    engine.attach_controller(controller)
+    started = time.perf_counter()
+    engine.push_many(stream)
+    engine.flush()
+    elapsed = time.perf_counter() - started
+
+    stats = subscription.stats()
+    events = controller.events()
+    accuracy = controller.accuracy_report()
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "dataset": args.dataset,
+                    "objects": args.objects,
+                    "query": query.describe(),
+                    "algorithm": args.algorithm,
+                    "seconds": elapsed,
+                    "policy": policy.describe(),
+                    "events": [event.as_dict() for event in events],
+                    "stats": stats,
+                    "accuracy": accuracy,
+                },
+                indent=2,
+            )
+        )
+        return 0
+
+    print(f"dataset   : {args.dataset} ({args.objects} objects)")
+    print(f"query     : {query.describe()} on {args.algorithm}")
+    throughput = args.objects / elapsed if elapsed else float("inf")
+    print(f"run       : {elapsed:.3f}s ({throughput:,.0f} objects/s)")
+    print(
+        f"latency   : p50={stats['p50_latency']:.6f}s "
+        f"p95={stats['p95_latency']:.6f}s p99={stats['p99_latency']:.6f}s"
+    )
+    applied = [event for event in events if event.applied]
+    print(f"adaptation: {len(applied)} applied, {len(events) - len(applied)} declined")
+    if events:
+        header = f"{'slide':>6} {'query':<10} {'tactic':<18} {'trigger':<20} applied"
+        print(header)
+        print("-" * len(header))
+        for event in events:
+            print(
+                f"{event.slide_index:>6} {event.subscription:<10} "
+                f"{event.tactic:<18} {event.trigger:<20} {event.applied}"
+            )
+    if accuracy["exact"]:
+        print("accuracy  : exact (no load shedding engaged)")
+    else:
+        print(
+            f"accuracy  : approximate — shed {accuracy['shed']} of "
+            f"{accuracy['shed'] + accuracy['admitted']} objects "
+            f"({accuracy['shed_fraction']:.1%})"
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the test-suite."""
     parser = build_parser()
@@ -224,5 +344,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_compare(args)
     if args.command == "multi":
         return _command_multi(args)
+    if args.command == "control":
+        return _command_control(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 1  # pragma: no cover

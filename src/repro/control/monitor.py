@@ -1,0 +1,75 @@
+"""The Monitor stage: taps engine telemetry into the knowledge store.
+
+The monitor is the duck-typed sink a :class:`~repro.engine.group.QueryGroup`
+calls after every member slide (``record_slide``), plus the seal listener
+installed on SAP instances so partition-sealing activity reaches the
+knowledge store too.  It performs no analysis — it only converts what the
+engine already measured (the subscription's last-slide latency, candidate
+count, and memory were sampled by the metrics collector during the slide)
+into bounded :class:`~repro.control.knowledge.SlideSample` /
+:class:`~repro.control.knowledge.SealSample` records.  Keeping the monitor
+read-mostly is what keeps controller overhead in the low single digits.
+"""
+
+from __future__ import annotations
+
+from ..core.framework import SAPTopK
+from .knowledge import Knowledge, SealSample, SlideSample
+
+
+class Monitor:
+    """Writes per-slide and per-seal telemetry into a knowledge store."""
+
+    def __init__(self, knowledge: Knowledge) -> None:
+        self.knowledge = knowledge
+
+    # ------------------------------------------------------------------
+    def watch(self, subscription) -> None:
+        """Install the seal tap on a subscription's algorithm (idempotent).
+
+        Only the SAP framework seals partitions; other algorithms simply
+        have no seal telemetry.  Idempotency is keyed on the listener slot
+        itself (not on instance identity, which ``id()`` reuse would
+        break), so the tap reliably follows the live instance after the
+        control plane swaps the algorithm.
+        """
+        algorithm = subscription.algorithm
+        if not isinstance(algorithm, SAPTopK) or algorithm.seal_listener is not None:
+            return
+        name = subscription.name
+        algorithm.seal_listener = lambda partition: self.knowledge.add_seal(
+            SealSample(subscription=name, size=len(partition))
+        )
+
+    def unwatch(self, subscription) -> None:
+        """Remove the seal tap (controller detach): telemetry must stop."""
+        algorithm = subscription.algorithm
+        if isinstance(algorithm, SAPTopK):
+            algorithm.seal_listener = None
+
+    # ------------------------------------------------------------------
+    # QueryGroup telemetry sink protocol
+    # ------------------------------------------------------------------
+    def record_slide(self, group, subscription, event, result) -> None:
+        """Record one processed slide of one subscription.
+
+        Hot path: one call per slide per controlled subscription.  Reads
+        the values the metrics collector already sampled during the slide
+        (falling back to the algorithm when metrics are disabled) instead
+        of recomputing anything.
+        """
+        self.watch(subscription)
+        sample = subscription.last_slide_sample()
+        objects = result.objects
+        self.knowledge.add_slide(
+            SlideSample(
+                subscription.name,
+                subscription.algorithm.name,
+                event.index,
+                sample["latency"],
+                sample["candidates"],
+                sample["memory_bytes"],
+                objects[0].score if objects else None,
+                group.window_size(),
+            )
+        )

@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from bisect import insort
 from collections import deque
-from typing import Deque, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..partitioning.base import PartitionContext, Partitioner
 from ..partitioning.enhanced import EnhancedDynamicPartitioner
@@ -157,6 +157,10 @@ class SAPTopK(ContinuousTopKAlgorithm):
         # group's shared plan instead of running its own partitioner.
         self._shared_plan: Optional["SAPSharedPlan"] = None
         self.stats = FrameworkStats()
+        #: Telemetry tap of the adaptive control plane: when set, called as
+        #: ``seal_listener(partition)`` for every partition this instance
+        #: adopts (own seals and plan-provided ones alike).
+        self.seal_listener: Optional[Callable[[Partition], None]] = None
 
     # ------------------------------------------------------------------
     # Public protocol
@@ -260,7 +264,7 @@ class SAPTopK(ContinuousTopKAlgorithm):
         )
 
     # ------------------------------------------------------------------
-    # Introspection used by tests and benchmarks
+    # Introspection used by tests, benchmarks, and the control plane
     # ------------------------------------------------------------------
     @property
     def partition_count(self) -> int:
@@ -275,6 +279,38 @@ class SAPTopK(ContinuousTopKAlgorithm):
 
     def front_partition(self) -> Optional[Partition]:
         return self._partitions[0] if self._partitions else None
+
+    def seal_stats(self) -> Dict[str, object]:
+        """Sealing behaviour of whichever pipeline feeds this instance.
+
+        When the instance is a member of a shared plan, sealing happens in
+        the plan's group-level partitioner; otherwise in the instance's
+        own.  Either way the record also carries the framework counters, so
+        the control plane sees sizing and consumption in one place.
+        """
+        if self._shared_plan is not None:
+            base = self._shared_plan.seal_stats()
+        else:
+            base = self._partitioner.seal_stats()
+        base["partitions_live"] = len(self._partitions)
+        base["framework"] = self.stats.as_dict()
+        return base
+
+    def respawn(self) -> "SAPTopK":
+        """A fresh SAP instance with this configuration, empty state."""
+        return self.with_partitioner(self._partitioner.spawn())
+
+    def with_partitioner(self, partitioner: Partitioner) -> "SAPTopK":
+        """A fresh SAP instance using ``partitioner``, all other
+        configuration (meaningful-set policy, S-AVL toggle) preserved.
+        The control plane's partitioner-swap and η-retune tactics build
+        their replacement instances through this."""
+        return SAPTopK(
+            self.query,
+            partitioner=partitioner,
+            meaningful_policy=self._policy,
+            use_savl=self._use_savl,
+        )
 
     # ------------------------------------------------------------------
     # Expirations
@@ -423,6 +459,8 @@ class SAPTopK(ContinuousTopKAlgorithm):
         """Register a freshly sealed partition (own or plan-provided)."""
         self._next_partition_id += 1
         self.stats.partitions_sealed += 1
+        if self.seal_listener is not None:
+            self.seal_listener(partition)
         removed = self._candidates.merge_partition_topk(
             partition.topk, partition.partition_id, self.query.k
         )
@@ -666,6 +704,10 @@ class SAPSharedPlan(SharedPlan):
         info = super().describe()
         info["partitioner"] = self._partitioner.name
         return info
+
+    def seal_stats(self) -> Dict[str, object]:
+        """Sealing behaviour of the plan's group-level partitioner."""
+        return self._partitioner.seal_stats()
 
     def _leader_candidate_scores(self, count: int) -> List[float]:
         leader: Optional[object] = None

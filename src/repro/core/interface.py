@@ -83,6 +83,28 @@ class ContinuousTopKAlgorithm(ABC):
         return self.process_slide(shared.event)
 
     # ------------------------------------------------------------------
+    # Live re-planning (adaptive control plane)
+    # ------------------------------------------------------------------
+    # The control plane (:mod:`repro.control`) can replace a running
+    # algorithm at a slide boundary: a fresh instance is built, fast-
+    # forwarded to the stream position, and fed the live window contents as
+    # one synthetic slide event.  Both hooks have safe defaults; algorithms
+    # with construction-time configuration override ``respawn`` and
+    # algorithms with an internal slide clock override ``fast_forward``.
+    def respawn(self) -> "ContinuousTopKAlgorithm":
+        """A fresh instance with this instance's configuration, empty state.
+
+        The default rebuilds from the query alone, which is correct for
+        every algorithm whose constructor signature is ``cls(query)``.
+        """
+        return type(self)(self.query)
+
+    def fast_forward(self, slide_index: int) -> None:
+        """Align any internal slide clock to ``slide_index`` before a
+        mid-stream rebuild replays the live window.  The default is a
+        no-op: most algorithms derive their position from the events."""
+
+    # ------------------------------------------------------------------
     def candidate_count(self) -> int:
         """Number of candidate objects currently maintained.
 

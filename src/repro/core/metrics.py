@@ -60,6 +60,11 @@ class MetricsCollector:
     latency_total: float = 0.0
     latency_max: float = 0.0
     latencies: List[float] = field(default_factory=list, repr=False)
+    #: Values of the most recent slide, read by the control plane's monitor
+    #: so telemetry never recomputes what the collector already sampled.
+    last_candidates: int = 0
+    last_memory_bytes: int = 0
+    last_latency: float = 0.0
     _latency_seen: int = field(default=0, repr=False)
     _latency_stride: int = field(default=1, repr=False)
 
@@ -74,7 +79,10 @@ class MetricsCollector:
         self.candidate_max = max(self.candidate_max, candidate_count)
         self.memory_total += memory_bytes
         self.memory_max = max(self.memory_max, memory_bytes)
+        self.last_candidates = candidate_count
+        self.last_memory_bytes = memory_bytes
         if latency_seconds is not None:
+            self.last_latency = latency_seconds
             self.latency_total += latency_seconds
             self.latency_max = max(self.latency_max, latency_seconds)
             self._latency_seen += 1
@@ -99,13 +107,32 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     # Per-slide latency distribution
     # ------------------------------------------------------------------
+    def latency_percentile(self, fraction: float) -> float:
+        """Any percentile of the retained latency sample (0.0 when empty)."""
+        return percentile(self.latencies, fraction) if self.latencies else 0.0
+
+    def latency_percentiles(self, fractions) -> List[float]:
+        """Several percentiles from one sort of the retained sample."""
+        if not self.latencies:
+            return [0.0] * len(fractions)
+        ordered = sorted(self.latencies)
+        last = len(ordered) - 1
+        return [
+            ordered[min(last, max(0, int(round(fraction * last))))]
+            for fraction in fractions
+        ]
+
     @property
     def median_latency(self) -> float:
-        return percentile(self.latencies, 0.5) if self.latencies else 0.0
+        return self.latency_percentile(0.5)
 
     @property
     def p95_latency(self) -> float:
-        return percentile(self.latencies, 0.95) if self.latencies else 0.0
+        return self.latency_percentile(0.95)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(0.99)
 
     @property
     def max_latency(self) -> float:

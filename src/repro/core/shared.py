@@ -153,6 +153,15 @@ class SharedPlan:
         }
 
     # ------------------------------------------------------------------
+    def fast_forward(self, slide_index: int) -> None:
+        """Align any internal slide clock before a mid-stream rebuild.
+
+        Called by the control plane when a plan is formed over a window
+        that is already full (see :meth:`repro.engine.group.QueryGroup.rebuild`).
+        The default is a no-op; plans hosting a full algorithm core forward
+        the call to it.
+        """
+
     def prepare(self, event: SlideEvent) -> SharedSlide:
         """Do the shared per-slide work once; called before any member."""
         raise NotImplementedError
@@ -181,6 +190,9 @@ class CoreSharedPlan(SharedPlan):
 
     def memory_bytes(self) -> int:
         return self._core.memory_bytes()
+
+    def fast_forward(self, slide_index: int) -> None:
+        self._core.fast_forward(slide_index)
 
     def prepare(self, event: SlideEvent) -> SharedSlide:
         started = time.perf_counter()

@@ -158,6 +158,35 @@ class SlideBatcher:
         """Number of stream objects currently held by the window."""
         return len(self._window)
 
+    def window_contents(self) -> List[StreamObject]:
+        """Snapshot of the buffered window, oldest first.
+
+        Used by the control plane to rebuild an algorithm's state from the
+        live window when a tactic swaps it out mid-run.
+        """
+        return self._window.contents()
+
+    def pending_count(self) -> int:
+        """Objects accumulated since the last emitted slide event."""
+        return len(self._pending)
+
+    @property
+    def last_index(self) -> Optional[int]:
+        """Index of the most recently emitted slide event (None before the
+        window first fills)."""
+        return self._index - 1 if self._index else None
+
+    def at_slide_boundary(self) -> bool:
+        """True when the window state corresponds exactly to the last
+        emitted slide event — i.e. the window has filled and no partial
+        slide has accumulated since.  Only count-based windows have exact
+        boundaries; time-based windows buffer ahead of their reports."""
+        return (
+            not self.query.time_based
+            and self._index > 0
+            and not self._pending
+        )
+
     # ------------------------------------------------------------------
     def _push_count_based(self, obj: StreamObject) -> List[SlideEvent]:
         self._window.append(obj)

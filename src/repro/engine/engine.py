@@ -67,6 +67,7 @@ class StreamEngine:
         self._open_groups: Dict[GroupKey, QueryGroup] = {}
         self._default_keep_results = keep_results
         self._return_results = return_results
+        self._controller = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -145,6 +146,8 @@ class StreamEngine:
                 self._groups.remove(group)
                 if self._open_groups.get(group.key) is group:
                     del self._open_groups[group.key]
+                if self._controller is not None:
+                    self._controller._discard_group(group)
 
     def subscription(self, name: str) -> Subscription:
         try:
@@ -169,6 +172,46 @@ class StreamEngine:
         return len(self._subscriptions)
 
     # ------------------------------------------------------------------
+    # Adaptive control plane
+    # ------------------------------------------------------------------
+    @property
+    def controller(self):
+        """The attached :class:`repro.control.AdaptiveController`, if any."""
+        return self._controller
+
+    def attach_controller(self, controller) -> None:
+        """Put this engine under adaptive control (see :mod:`repro.control`).
+
+        The controller's monitor starts receiving per-slide telemetry from
+        every query group (existing and future), and the controller runs
+        its MAPE loop after every ingest call, applying tactics at slide
+        boundaries.  Only one controller may be attached at a time.
+        """
+        self._ensure_open()
+        if self._controller is not None:
+            raise AlgorithmStateError(
+                "a controller is already attached; detach it first"
+            )
+        self._controller = controller
+        controller._bind_engine(self)
+        for group in self._groups:
+            controller._adopt_group(group)
+
+    def detach_controller(self):
+        """Detach the controller; telemetry stops, tactics no longer fire.
+
+        Returns the detached controller (its knowledge store, including the
+        adaptation event log, stays readable)."""
+        controller = self._controller
+        if controller is None:
+            return None
+        self._controller = None
+        for group in self._groups:
+            group.telemetry = None
+        controller._unbind_engine(self)
+        return controller
+
+    # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     def push(self, obj: StreamObject) -> Dict[str, List[TopKResult]]:
@@ -182,6 +225,11 @@ class StreamEngine:
         self._ensure_open()
         if not self._subscriptions:
             raise ValueError("no queries subscribed")
+        controller = self._controller
+        if controller is not None:
+            if controller.shedding_active and not controller.admit(obj):
+                return {}
+            controller.note_admitted(1)
         collect = self._return_results
         produced = None
         # Snapshot: result callbacks may unsubscribe (mutating the list).
@@ -190,6 +238,8 @@ class StreamEngine:
                 if produced is None:
                     produced = {}
                 produced[subscription.name] = results
+        if controller is not None:
+            controller.tick()
         return self._ordered(produced)
 
     def push_many(
@@ -207,13 +257,25 @@ class StreamEngine:
         self._ensure_open()
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        controller = self._controller
+        if controller is not None:
+            # Slide-aligned chunks make chunk ends coincide with slide
+            # boundaries, the only points where tactics may be applied.
+            chunk_size = controller.aligned_chunk(chunk_size)
         count = 0
         chunk: List[StreamObject] = []
+        # Shedding can only engage/disengage inside a tick, i.e. between
+        # chunks — so the flag is hoisted out of the per-object loop and
+        # re-read after each chunk.
+        shedding = controller is not None and controller.shedding_active
         for obj in objects:
+            if shedding and not controller.admit(obj):
+                continue
             chunk.append(obj)
             if len(chunk) >= chunk_size:
                 count += self._push_chunk(chunk)
                 chunk = []
+                shedding = controller is not None and controller.shedding_active
         if chunk:
             count += self._push_chunk(chunk)
         return count
@@ -223,6 +285,10 @@ class StreamEngine:
             raise ValueError("no queries subscribed")
         for group in tuple(self._groups):
             group.push_batch(chunk, collect=False)
+        controller = self._controller
+        if controller is not None:
+            controller.note_admitted(len(chunk))
+            controller.tick()
         return len(chunk)
 
     def flush(self) -> Dict[str, List[TopKResult]]:
@@ -235,6 +301,8 @@ class StreamEngine:
                 if produced is None:
                     produced = {}
                 produced[subscription.name] = results
+        if self._controller is not None:
+            self._controller.tick()
         return self._ordered(produced)
 
     def _ordered(
@@ -301,6 +369,8 @@ class StreamEngine:
             group = QueryGroup(query.n, query.s, query.time_based)
             self._groups.append(group)
             self._open_groups[key] = group
+            if self._controller is not None:
+                self._controller._adopt_group(group)
         return group
 
     @staticmethod

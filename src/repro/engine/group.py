@@ -22,9 +22,11 @@ fresh group of the same shape for it instead.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import AlgorithmStateError
+from ..core.interface import ContinuousTopKAlgorithm
 from ..core.object import StreamObject
 from ..core.query import TopKQuery
 from ..core.result import TopKResult
@@ -54,6 +56,11 @@ class QueryGroup:
         self._members: List[Subscription] = []
         self._plans: List[SharedPlan] = []
         self._started = False
+        #: Telemetry sink of the adaptive control plane (duck-typed to
+        #: avoid an import cycle): when set, ``record_slide(group=...,
+        #: subscription=..., event=..., result=...)`` is called after every
+        #: member processes a slide.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -90,6 +97,20 @@ class QueryGroup:
         """Number of stream objects currently buffered for this shape."""
         return self._batcher.window_size()
 
+    def window_contents(self) -> List[StreamObject]:
+        """Snapshot of the shape's buffered window, oldest first."""
+        return self._batcher.window_contents()
+
+    def last_slide_index(self) -> Optional[int]:
+        """Index of the most recent slide event (None before first fill)."""
+        return self._batcher.last_index
+
+    def at_slide_boundary(self) -> bool:
+        """True when the group's window state matches the last emitted slide
+        exactly (count-based, filled, no partial slide buffered).  Live
+        rebuilds by the control plane are only legal at such boundaries."""
+        return self._started and self._batcher.at_slide_boundary()
+
     # ------------------------------------------------------------------
     # Plan formation
     # ------------------------------------------------------------------
@@ -98,8 +119,14 @@ class QueryGroup:
         if self._started:
             return
         self._started = True
+        self._plans.extend(self._form_plans(self._members))
+
+    @staticmethod
+    def _form_plans(members: Sequence[Subscription]) -> List[SharedPlan]:
+        """Bucket ``members`` by plan key and build one plan per bucket."""
+        plans: List[SharedPlan] = []
         buckets: Dict[object, List[Subscription]] = {}
-        for subscription in self._members:
+        for subscription in members:
             key = subscription.algorithm.shared_plan_key()
             if key is None:
                 continue
@@ -112,10 +139,96 @@ class QueryGroup:
                 continue
             plan = bucket[0].algorithm.build_shared_plan(bucket)
             if plan is not None:
-                self._plans.append(plan)
+                plans.append(plan)
+        return plans
 
     def plans(self) -> List[SharedPlan]:
         return list(self._plans)
+
+    # ------------------------------------------------------------------
+    # Live re-planning (adaptive control plane)
+    # ------------------------------------------------------------------
+    def rebuild(
+        self, replacements: Dict[str, ContinuousTopKAlgorithm]
+    ) -> float:
+        """Swap member algorithms at a slide boundary; return the cost in
+        seconds.
+
+        ``replacements`` maps subscription names to fresh (never pushed)
+        algorithm instances for the same query.  The group is "drained" in
+        place: every replaced member — plus every member that shared a plan
+        with one, since dissolving a plan orphans its members — gets a
+        fresh instance, shared plans are re-formed over the rebuilt set,
+        and the live window contents are replayed into the new pipeline as
+        one synthetic slide event whose answer is discarded (the current
+        window was already reported).  Because every algorithm in the
+        library computes exact answers from the window contents alone, the
+        result stream after a rebuild is identical to an uninterrupted
+        run — this is what makes control-plane tactics answer-preserving.
+
+        Members untouched by the rebuild (not replaced, not in a dissolved
+        plan) keep their instances and plans and never notice.
+        """
+        if not self.at_slide_boundary():
+            raise AlgorithmStateError(
+                "a live rebuild is only possible at a count-based slide "
+                "boundary (window full, no partial slide buffered)"
+            )
+        by_name = {sub.name: sub for sub in self._members}
+        unknown = sorted(set(replacements) - set(by_name))
+        if unknown:
+            raise KeyError(f"no such members in this group: {unknown}")
+
+        started = time.perf_counter()
+        affected = {by_name[name] for name in replacements}
+        # Dissolving a plan orphans every member bound to it: their old
+        # instances refuse to run outside the plan, so they must be
+        # rebuilt (with their current configuration) alongside the swaps.
+        surviving_plans: List[SharedPlan] = []
+        for plan in self._plans:
+            plan_members = set(plan.subscriptions())
+            if plan_members & affected:
+                affected |= {m for m in plan_members if m in self._members}
+            else:
+                surviving_plans.append(plan)
+        self._plans = surviving_plans
+
+        slide_index = self._batcher.last_index
+        for subscription in affected:
+            algorithm = replacements.get(subscription.name)
+            if algorithm is None:
+                algorithm = subscription.algorithm.respawn()
+            algorithm.fast_forward(slide_index)
+            subscription._replace_algorithm(algorithm)
+
+        ordered = [sub for sub in self._members if sub in affected]
+        new_plans = self._form_plans(ordered)
+        for plan in new_plans:
+            plan.fast_forward(slide_index)
+        self._plans.extend(new_plans)
+
+        # Replay the live window into the rebuilt pipeline as one synthetic
+        # slide event (same shape as the initial window-fill event).  The
+        # produced answers are discarded: this window was already reported.
+        contents = self._batcher.window_contents()
+        event = SlideEvent(
+            index=slide_index,
+            arrivals=tuple(contents),
+            expirations=(),
+            window_end=contents[-1].t if contents else 0,
+        )
+        planned: Dict[int, SharedSlide] = {}
+        for plan in new_plans:
+            shared = plan.prepare(event)
+            for subscription in plan.subscriptions():
+                planned[id(subscription)] = shared
+        for subscription in ordered:
+            shared = planned.get(id(subscription))
+            if shared is not None:
+                subscription.algorithm.process_shared_slide(shared)
+            else:
+                subscription.algorithm.process_slide(event)
+        return time.perf_counter() - started
 
     def describe(self) -> Dict[str, object]:
         """Introspection record shown by ``StreamEngine.groups()``."""
@@ -180,6 +293,8 @@ class QueryGroup:
                 result = subscription._deliver_slide(
                     event, shared_for.get(id(subscription))
                 )
+                if result is not None and self.telemetry is not None:
+                    self.telemetry.record_slide(self, subscription, event, result)
                 if collect and result is not None:
                     produced.setdefault(subscription, []).append(result)
         if not collect:

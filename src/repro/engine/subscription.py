@@ -59,6 +59,7 @@ class Subscription:
         self._callbacks: List[ResultCallback] = []
         self._delivered = 0
         self._closed = False
+        self._last_latency = 0.0
 
     # ------------------------------------------------------------------
     # Consuming answers
@@ -127,17 +128,41 @@ class Subscription:
         }
 
     def stats(self) -> Dict[str, float]:
-        """Aggregate performance statistics (the paper's three measures)."""
+        """Aggregate performance statistics (the paper's three measures,
+        plus the per-slide latency distribution as p50/p95/p99)."""
         m = self._metrics
+        p50, p95, p99 = m.latency_percentiles((0.5, 0.95, 0.99))
         return {
             "slides": m.slides,
             "results_delivered": self._delivered,
             "average_candidates": m.average_candidates,
             "candidate_max": m.candidate_max,
             "average_memory_kb": m.average_memory_kb,
-            "median_latency": m.median_latency,
-            "p95_latency": m.p95_latency,
+            "median_latency": p50,
+            "p50_latency": p50,
+            "p95_latency": p95,
+            "p99_latency": p99,
             "max_latency": m.max_latency,
+        }
+
+    def last_slide_sample(self) -> Dict[str, float]:
+        """Telemetry of the most recent slide: latency, candidates, memory.
+
+        Read by the control plane's monitor after every slide.  Candidate
+        and memory figures come from the metrics collector when it is
+        enabled (they were sampled during the slide anyway) and straight
+        from the algorithm otherwise.
+        """
+        if self._collect_metrics:
+            return {
+                "latency": self._metrics.last_latency,
+                "candidates": self._metrics.last_candidates,
+                "memory_bytes": self._metrics.last_memory_bytes,
+            }
+        return {
+            "latency": self._last_latency,
+            "candidates": self.algorithm.candidate_count(),
+            "memory_bytes": self.algorithm.memory_bytes(),
         }
 
     # ------------------------------------------------------------------
@@ -151,6 +176,21 @@ class Subscription:
 
     def _attach_group(self, group: "QueryGroup") -> None:
         self._group = group
+
+    def _replace_algorithm(self, algorithm: ContinuousTopKAlgorithm) -> None:
+        """Swap in a rebuilt algorithm instance (adaptive control plane).
+
+        The query (and therefore the group membership) must not change;
+        metric aggregates, retained results, and callbacks carry over so
+        the swap is invisible to consumers of the subscription.
+        """
+        if algorithm.query != self.query:
+            raise ValueError(
+                "a replacement algorithm must answer the same query; "
+                f"got {algorithm.query.describe()} for {self.query.describe()}"
+            )
+        self.algorithm.close()
+        self.algorithm = algorithm
 
     def _deliver_slide(
         self, event: SlideEvent, shared: Optional[SharedSlide] = None
@@ -172,6 +212,7 @@ class Subscription:
         latency = time.perf_counter() - started
         if shared is not None:
             latency += shared.prep_share
+        self._last_latency = latency
         if self._collect_metrics:
             self._metrics.record(
                 self.algorithm.candidate_count(), self.algorithm.memory_bytes(), latency

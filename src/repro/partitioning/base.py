@@ -34,6 +34,47 @@ class PartitionContext:
         return self._top_candidate_scores(count)
 
 
+class SealStats:
+    """Counters describing the sealing behaviour of one partitioner.
+
+    Surfaced through :meth:`Partitioner.seal_stats` so the adaptive control
+    plane (and tests) can observe partition sizing without touching the
+    partitioner's internals: how many partitions were sealed, how many
+    objects they covered, how many seals were forced by the expiration
+    safety valve, and the size of the most recent seal.
+    """
+
+    __slots__ = ("partitions_sealed", "objects_sealed", "forced_seals", "last_partition_size")
+
+    def __init__(self) -> None:
+        self.partitions_sealed = 0
+        self.objects_sealed = 0
+        self.forced_seals = 0
+        self.last_partition_size = 0
+
+    def record(self, size: int, forced: bool = False) -> None:
+        self.partitions_sealed += 1
+        self.objects_sealed += size
+        self.last_partition_size = size
+        if forced:
+            self.forced_seals += 1
+
+    @property
+    def average_partition_size(self) -> float:
+        if not self.partitions_sealed:
+            return 0.0
+        return self.objects_sealed / self.partitions_sealed
+
+    def as_dict(self) -> dict:
+        return {
+            "partitions_sealed": self.partitions_sealed,
+            "objects_sealed": self.objects_sealed,
+            "forced_seals": self.forced_seals,
+            "last_partition_size": self.last_partition_size,
+            "average_partition_size": self.average_partition_size,
+        }
+
+
 class Partitioner(ABC):
     """Base class of the equal, dynamic, and enhanced dynamic partitioners."""
 
@@ -42,6 +83,7 @@ class Partitioner(ABC):
     def __init__(self) -> None:
         self.query: Optional[TopKQuery] = None
         self.context: Optional[PartitionContext] = None
+        self.seals = SealStats()
 
     # ------------------------------------------------------------------
     def bind(self, query: TopKQuery, context: PartitionContext) -> None:
@@ -103,7 +145,15 @@ class Partitioner(ABC):
             return None
         spec = PartitionSpec(objects=list(pending))
         self._drop_pending()
+        self.seals.record(len(spec.objects), forced=True)
         return spec
+
+    def seal_stats(self) -> dict:
+        """Introspection record of this partitioner's sealing behaviour."""
+        stats = self.seals.as_dict()
+        stats["name"] = self.name
+        stats["pending"] = self.pending_count()
+        return stats
 
     @abstractmethod
     def _drop_pending(self) -> None:

@@ -69,6 +69,7 @@ class EqualPartitioner(Partitioner):
         while len(self._pending) >= self._partition_size:
             sealed = self._pending[: self._partition_size]
             del self._pending[: self._partition_size]
+            self.seals.record(len(sealed))
             specs.append(PartitionSpec(objects=sealed))
         return specs
 

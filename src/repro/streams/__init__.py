@@ -14,7 +14,12 @@ from .preference import (
     trip_preference,
     planet_preference,
 )
-from .synthetic import TimeCorrelatedStream, UncorrelatedStream, RandomWalkStream
+from .synthetic import (
+    DriftingStream,
+    RandomWalkStream,
+    TimeCorrelatedStream,
+    UncorrelatedStream,
+)
 from .stock import StockStream, StockTransaction
 from .trip import TripStream, TaxiTrip
 from .planet import PlanetStream, Observation
@@ -31,6 +36,7 @@ __all__ = [
     "TimeCorrelatedStream",
     "UncorrelatedStream",
     "RandomWalkStream",
+    "DriftingStream",
     "StockStream",
     "StockTransaction",
     "TripStream",

@@ -12,7 +12,7 @@ from typing import Callable, Dict, List
 from .planet import PlanetStream
 from .source import StreamSource
 from .stock import StockStream
-from .synthetic import TimeCorrelatedStream, UncorrelatedStream
+from .synthetic import DriftingStream, TimeCorrelatedStream, UncorrelatedStream
 from .trip import TripStream
 
 
@@ -29,12 +29,15 @@ DATASETS: Dict[str, Callable[[], StreamSource]] = {
     "PLANET": lambda: PlanetStream(seed=29),
     "TIMEU": lambda: UncorrelatedStream(seed=11),
     "TIMER": _timer_factory,
+    # Beyond the paper: a regime-switching stream for the adaptive
+    # control plane (drift detection, partitioner swaps, load shedding).
+    "DRIFT": lambda: DriftingStream(seed=19),
 }
 
 
 def dataset_names() -> List[str]:
-    """Names of the five datasets, in the paper's order."""
-    return ["STOCK", "TRIP", "PLANET", "TIMEU", "TIMER"]
+    """Names of the datasets: the paper's five, then the extensions."""
+    return ["STOCK", "TRIP", "PLANET", "TIMEU", "TIMER", "DRIFT"]
 
 
 def make_dataset(name: str) -> StreamSource:

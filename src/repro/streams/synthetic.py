@@ -75,6 +75,58 @@ class UncorrelatedStream(StreamSource):
             yield StreamObject(score=rng.uniform(self.low, self.high), t=t)
 
 
+class DriftingStream(StreamSource):
+    """Regime-switching stream for exercising the adaptive control plane.
+
+    The stream alternates between two regimes every ``phase`` objects:
+
+    * **calm** — scores uncorrelated with arrival order, uniform around
+      ``low_mean`` (the TIMEU shape);
+    * **hot** — scores time-correlated, ramping linearly across the phase
+      around ``high_mean`` (the TIMER shape, shifted upward).
+
+    Each switch is a genuine distribution change: the per-slide best scores
+    jump between the two levels, which the control plane's drift analyzer
+    detects with the same rank-sum test the dynamic partitioner uses, and
+    the correlated phases reward dynamic over equal partition sizing.
+    """
+
+    name = "DRIFT"
+
+    def __init__(
+        self,
+        phase: int = 2_000,
+        low_mean: float = 0.3,
+        high_mean: float = 0.7,
+        spread: float = 0.25,
+        noise: float = 0.02,
+        seed: int = 19,
+    ) -> None:
+        if phase <= 0:
+            raise ValueError("phase must be positive")
+        if spread <= 0:
+            raise ValueError("spread must be positive")
+        if high_mean <= low_mean:
+            raise ValueError("high_mean must exceed low_mean")
+        self.phase = phase
+        self.low_mean = low_mean
+        self.high_mean = high_mean
+        self.spread = spread
+        self.noise = noise
+        self.seed = seed
+
+    def objects(self, count: int) -> Iterator[StreamObject]:
+        rng = random.Random(self.seed)
+        for t in range(count):
+            if (t // self.phase) % 2 == 0:
+                score = self.low_mean + rng.uniform(-self.spread, self.spread)
+            else:
+                progress = (t % self.phase) / self.phase
+                ramp = (2.0 * progress - 1.0) * self.spread
+                score = self.high_mean + ramp + rng.uniform(-self.noise, self.noise)
+            yield StreamObject(score=score, t=t)
+
+
 class RandomWalkStream(StreamSource):
     """Scores following a bounded random walk (locally trending data)."""
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.object import StreamObject
 from repro.streams import (
+    DriftingStream,
     ListSource,
     PlanetStream,
     RandomWalkStream,
@@ -24,6 +25,7 @@ ALL_GENERATORS = [
     TimeCorrelatedStream(period=100, seed=1),
     UncorrelatedStream(seed=1),
     RandomWalkStream(seed=1),
+    DriftingStream(phase=50, seed=1),
 ]
 
 
@@ -121,11 +123,16 @@ class TestValidation:
             TripStream(taxis=0)
         with pytest.raises(ValueError):
             PlanetStream(clusters=0)
+        with pytest.raises(ValueError):
+            DriftingStream(phase=0)
+        with pytest.raises(ValueError):
+            DriftingStream(low_mean=0.7, high_mean=0.3)
 
 
 class TestRegistry:
     def test_names_match_paper(self):
-        assert dataset_names() == ["STOCK", "TRIP", "PLANET", "TIMEU", "TIMER"]
+        # The paper's five datasets first, then the library's extensions.
+        assert dataset_names() == ["STOCK", "TRIP", "PLANET", "TIMEU", "TIMER", "DRIFT"]
 
     def test_make_dataset_case_insensitive(self):
         assert make_dataset("stock").name == "STOCK"
