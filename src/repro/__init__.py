@@ -12,10 +12,12 @@ The public API mirrors the paper's structure:
   brute-force), extensible with :func:`repro.register_algorithm`;
 * :class:`repro.SAPTopK` -- the SAP framework (the paper's contribution),
   configurable with the equal, dynamic, or enhanced dynamic partitioner;
+* :class:`repro.cluster.ShardedStreamEngine` -- the sharded execution
+  plane: the same subscribe/push API across N worker processes, with
+  placement policies, merged statistics, and live rebalancing;
 * :mod:`repro.streams` -- synthetic equivalents of the paper's datasets;
 * :mod:`repro.runner` -- legacy one-shot helpers (:func:`run_algorithm`,
-  :func:`compare_algorithms`, :class:`MultiQueryEngine`), kept as thin
-  wrappers over the engine.
+  :func:`compare_algorithms`), kept as thin wrappers over the engine.
 
 Quickstart (push-based, works on unbounded streams)::
 
@@ -72,8 +74,9 @@ from .registry import (
     register_algorithm,
 )
 from .control import AdaptiveController, Knowledge, Policy
-from .engine import QueryGroup, QuerySpec, StreamEngine, Subscription
-from .runner import MultiQueryEngine, RunReport, compare_algorithms, run_algorithm
+from .engine import EngineCore, QueryGroup, QuerySpec, StreamEngine, Subscription
+from .cluster import ShardedStreamEngine, ShardSubscription
+from .runner import RunReport, compare_algorithms, run_algorithm
 
 __version__ = "1.1.0"
 
@@ -100,7 +103,10 @@ __all__ = [
     "EqualPartitioner",
     "DynamicPartitioner",
     "EnhancedDynamicPartitioner",
+    "EngineCore",
     "StreamEngine",
+    "ShardedStreamEngine",
+    "ShardSubscription",
     "QueryGroup",
     "QuerySpec",
     "Subscription",
@@ -116,7 +122,6 @@ __all__ = [
     "RunReport",
     "run_algorithm",
     "compare_algorithms",
-    "MultiQueryEngine",
 ]
 
 

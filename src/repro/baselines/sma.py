@@ -54,6 +54,17 @@ class SMATopK(ContinuousTopKAlgorithm):
         self._calibrated = False
 
     # ------------------------------------------------------------------
+    def respawn(self) -> "SMATopK":
+        """A fresh instance preserving the construction-time configuration
+        (``kmax_factor``, ``grid_cells``) — the default query-only respawn
+        would silently reset them, breaking serialized-state round-trips."""
+        return SMATopK(
+            self.query,
+            kmax_factor=self._kmax // self.query.k,
+            grid_cells=self._grid_cells,
+        )
+
+    # ------------------------------------------------------------------
     def process_slide(self, event: SlideEvent) -> TopKResult:
         for obj in event.expirations:
             self._grid.remove(obj)

@@ -1,44 +1,20 @@
 """Command-line interface of the reproduction library.
 
-Four subcommands are provided:
-
-``run``
-    Run one algorithm over one of the built-in datasets and print the
-    summary (running time, average candidate count, memory) plus the final
-    window's answer.
-
-``compare``
-    Run several algorithms over the same stream, verify that their answers
-    agree, and print a comparison table.
-
-``multi``
-    Run several queries with one window shape but different result sizes
-    ``k`` through the shared multi-query plane (one query group, one
-    ``k_max`` execution plan) and print per-query statistics plus the
-    plane's throughput against independent engines.
-
-``control``
-    Run a workload under the adaptive control plane (:mod:`repro.control`)
-    and print the adaptation event log — which tactics fired, what
-    triggered them, and at which slide — plus latency percentiles and the
-    load-shedding accuracy account.  ``--json`` dumps the full record.
-
-Examples::
-
-    python -m repro run --dataset STOCK --n 1000 --k 10 --s 50
-    python -m repro compare --dataset TIMER --n 1000 --k 20 --s 50 \
-        --algorithms SAP MinTopK k-skyband
-    python -m repro multi --dataset STOCK --n 1000 --s 50 --k 5 10 20 50
-    python -m repro control --dataset DRIFT --objects 12000 --json
+The subcommand reference below is generated from the command registry
+(:data:`COMMANDS`) at import time, so it always matches what the parser
+actually provides — adding a command automatically documents it here.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import textwrap
 import time
-from typing import Callable, Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .cluster import PLACEMENT_POLICIES, ShardedStreamEngine
 from .control import AdaptiveController, Policy
 from .core.interface import ContinuousTopKAlgorithm
 from .core.query import TopKQuery
@@ -57,114 +33,56 @@ AlgorithmFactory = Callable[[TopKQuery], ContinuousTopKAlgorithm]
 CLI_ALGORITHMS: Dict[str, AlgorithmFactory] = algorithm_factories()
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Continuous top-k queries over streaming data (SAP reproduction)",
-    )
-    subparsers = parser.add_subparsers(dest="command", required=True)
+@dataclass(frozen=True)
+class CliCommand:
+    """One subcommand: parser wiring, handler, and its documentation.
 
-    def add_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument(
-            "--dataset",
-            default="TIMEU",
-            choices=dataset_names(),
-            help="built-in synthetic dataset to stream",
-        )
-        sub.add_argument("--objects", type=int, default=8000, help="stream length")
-        sub.add_argument("--n", type=int, default=1000, help="window size")
-        sub.add_argument("--k", type=int, default=10, help="result size")
-        sub.add_argument("--s", type=int, default=50, help="slide size")
+    The module docstring's command reference is generated from these
+    records, so the registry is the single source of truth for what the
+    CLI provides.
+    """
 
-    run_parser = subparsers.add_parser("run", help="run a single algorithm")
-    add_common(run_parser)
-    run_parser.add_argument(
-        "--algorithm",
-        default="SAP",
-        choices=sorted(algorithm_factories()),
-        help="algorithm to run",
-    )
-    run_parser.add_argument(
-        "--show", type=int, default=5, help="how many of the final top-k objects to print"
-    )
+    name: str
+    help: str
+    doc: str
+    configure: Callable[[argparse.ArgumentParser], None]
+    run: Callable[[argparse.Namespace], int]
 
-    compare_parser = subparsers.add_parser("compare", help="compare several algorithms")
-    add_common(compare_parser)
-    compare_parser.add_argument(
-        "--algorithms",
-        nargs="+",
-        default=["SAP", "MinTopK", "k-skyband"],
-        choices=sorted(algorithm_factories()),
-        help="algorithms to compare (answers are checked for agreement)",
-    )
 
-    multi_parser = subparsers.add_parser(
-        "multi", help="run several same-window queries on the shared plane"
-    )
-    multi_parser.add_argument(
+def _add_common(sub: argparse.ArgumentParser, include_k: bool = True) -> None:
+    """The dataset/query flags shared by the subcommands.  ``include_k``
+    is off for commands that take their own multi-valued ``--k``."""
+    sub.add_argument(
         "--dataset",
         default="TIMEU",
         choices=dataset_names(),
         help="built-in synthetic dataset to stream",
     )
-    multi_parser.add_argument("--objects", type=int, default=8000, help="stream length")
-    multi_parser.add_argument("--n", type=int, default=1000, help="window size")
-    multi_parser.add_argument("--s", type=int, default=50, help="slide size")
-    multi_parser.add_argument(
-        "--k",
-        type=int,
-        nargs="+",
-        default=[5, 10, 20, 50],
-        help="result sizes; one query per value, all sharing the window shape",
-    )
-    multi_parser.add_argument(
-        "--algorithm",
-        default="SAP",
-        choices=sorted(algorithm_factories()),
-        help="algorithm backing every query",
-    )
-    multi_parser.add_argument(
-        "--baseline",
-        action="store_true",
-        help="also run each query on its own engine and report the speedup",
-    )
-
-    control_parser = subparsers.add_parser(
-        "control", help="run a workload under the adaptive control plane"
-    )
-    add_common(control_parser)
-    control_parser.set_defaults(dataset="DRIFT", objects=12_000)
-    control_parser.add_argument(
-        "--algorithm",
-        default="SAP",
-        choices=sorted(algorithm_factories()),
-        help="algorithm the workload starts on (tactics may change it)",
-    )
-    control_parser.add_argument(
-        "--policy",
-        default=None,
-        metavar="PATH",
-        help="JSON policy file (see examples/control_policy.json); "
-        "default: the built-in drift/blowup policy",
-    )
-    control_parser.add_argument(
-        "--latency-budget",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-slide latency budget for the latency analyzer "
-        "(with --policy, overrides the file's budget)",
-    )
-    control_parser.add_argument(
-        "--json",
-        action="store_true",
-        help="dump the adaptation log and statistics as JSON",
-    )
-    return parser
+    sub.add_argument("--objects", type=int, default=8000, help="stream length")
+    sub.add_argument("--n", type=int, default=1000, help="window size")
+    if include_k:
+        sub.add_argument("--k", type=int, default=10, help="result size")
+    sub.add_argument("--s", type=int, default=50, help="slide size")
 
 
 def _query_from_args(args: argparse.Namespace) -> TopKQuery:
     return TopKQuery(n=args.n, k=args.k, s=args.s)
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+def _configure_run(sub: argparse.ArgumentParser) -> None:
+    _add_common(sub)
+    sub.add_argument(
+        "--algorithm",
+        default="SAP",
+        choices=sorted(algorithm_factories()),
+        help="algorithm to run",
+    )
+    sub.add_argument(
+        "--show", type=int, default=5, help="how many of the final top-k objects to print"
+    )
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -181,6 +99,20 @@ def _command_run(args: argparse.Namespace) -> int:
         for obj in list(final)[: args.show]:
             print(f"  score={obj.score:.6g}  t={obj.t}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# compare
+# ----------------------------------------------------------------------
+def _configure_compare(sub: argparse.ArgumentParser) -> None:
+    _add_common(sub)
+    sub.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["SAP", "MinTopK", "k-skyband"],
+        choices=sorted(algorithm_factories()),
+        help="algorithms to compare (answers are checked for agreement)",
+    )
 
 
 def _command_compare(args: argparse.Namespace) -> int:
@@ -201,6 +133,31 @@ def _command_compare(args: argparse.Namespace) -> int:
             f"{report.average_candidates:11.1f} {report.average_memory_kb:10.1f}"
         )
     return 0 if outcome.agree else 2
+
+
+# ----------------------------------------------------------------------
+# multi
+# ----------------------------------------------------------------------
+def _configure_multi(sub: argparse.ArgumentParser) -> None:
+    _add_common(sub, include_k=False)
+    sub.add_argument(
+        "--k",
+        type=int,
+        nargs="+",
+        default=[5, 10, 20, 50],
+        help="result sizes; one query per value, all sharing the window shape",
+    )
+    sub.add_argument(
+        "--algorithm",
+        default="SAP",
+        choices=sorted(algorithm_factories()),
+        help="algorithm backing every query",
+    )
+    sub.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run each query on its own engine and report the speedup",
+    )
 
 
 def _command_multi(args: argparse.Namespace) -> int:
@@ -253,6 +210,40 @@ def _command_multi(args: argparse.Namespace) -> int:
         print(f"baseline  : {independent_seconds:.3f}s on independent engines "
               f"-> {speedup:.2f}x speedup from sharing")
     return 0
+
+
+# ----------------------------------------------------------------------
+# control
+# ----------------------------------------------------------------------
+def _configure_control(sub: argparse.ArgumentParser) -> None:
+    _add_common(sub)
+    sub.set_defaults(dataset="DRIFT", objects=12_000)
+    sub.add_argument(
+        "--algorithm",
+        default="SAP",
+        choices=sorted(algorithm_factories()),
+        help="algorithm the workload starts on (tactics may change it)",
+    )
+    sub.add_argument(
+        "--policy",
+        default=None,
+        metavar="PATH",
+        help="JSON policy file (see examples/control_policy.json); "
+        "default: the built-in drift/blowup policy",
+    )
+    sub.add_argument(
+        "--latency-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-slide latency budget for the latency analyzer "
+        "(with --policy, overrides the file's budget)",
+    )
+    sub.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the adaptation log and statistics as JSON",
+    )
 
 
 def _command_control(args: argparse.Namespace) -> int:
@@ -334,17 +325,217 @@ def _command_control(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# shard
+# ----------------------------------------------------------------------
+def _configure_shard(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--dataset",
+        default="STOCK",
+        choices=dataset_names(),
+        help="built-in synthetic dataset to stream",
+    )
+    sub.add_argument("--objects", type=int, default=20_000, help="stream length")
+    sub.add_argument("--n", type=int, default=1000, help="base window size")
+    sub.add_argument("--s", type=int, default=50, help="base slide size")
+    sub.add_argument(
+        "--k",
+        type=int,
+        nargs="+",
+        default=[5, 10, 20, 50],
+        help="result sizes, cycled over the generated queries",
+    )
+    sub.add_argument("--shards", type=int, default=4, help="worker processes")
+    sub.add_argument(
+        "--queries",
+        type=int,
+        default=8,
+        help="number of queries; window shapes alternate between (n, s) "
+        "and (n/2, s/2) to form a mixed-window workload",
+    )
+    sub.add_argument(
+        "--placement",
+        default="least-loaded",
+        choices=sorted(PLACEMENT_POLICIES),
+        help="placement policy assigning queries to shards: least-loaded "
+        "(default here) spreads the demo workload over every shard; "
+        "hash-window co-locates same-shape queries to preserve their "
+        "shared k_max plans, at the mercy of how the shapes hash",
+    )
+    sub.add_argument(
+        "--algorithm",
+        default="SAP",
+        choices=sorted(algorithm_factories()),
+        help="algorithm backing every query",
+    )
+    sub.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the workload on one single-process engine and "
+        "report the sharding speedup",
+    )
+
+
+def _shard_workload(args: argparse.Namespace) -> List[Tuple[str, TopKQuery]]:
+    """The mixed-window workload of ``repro shard``: ``--queries`` queries
+    alternating between the base shape and its half-size variant, cycling
+    through the ``--k`` list."""
+    shapes = [(args.n, args.s), (max(2, args.n // 2), max(1, args.s // 2))]
+    workload = []
+    for index in range(args.queries):
+        n, s = shapes[index % len(shapes)]
+        k = min(args.k[index % len(args.k)], n)
+        workload.append((f"user-{index}", TopKQuery(n=n, k=k, s=s)))
+    return workload
+
+
+def _command_shard(args: argparse.Namespace) -> int:
+    stream = list(make_dataset(args.dataset).take(args.objects))
+    workload = _shard_workload(args)
+
+    with ShardedStreamEngine(args.shards, placement=args.placement) as engine:
+        for name, query in workload:
+            engine.subscribe(
+                name, query, algorithm=args.algorithm, keep_results=False
+            )
+        started = time.perf_counter()
+        engine.push_many(stream)
+        engine.synchronize()
+        sharded_seconds = time.perf_counter() - started
+
+        print(f"dataset   : {args.dataset} ({args.objects} objects)")
+        print(
+            f"plane     : {len(workload)} queries on {args.shards} shards "
+            f"({args.placement} placement, {args.algorithm})"
+        )
+        for record in engine.describe_shards():
+            members = ", ".join(record["members"]) or "-"
+            print(f"shard {record['shard']}   : load={record['load']:<8} {members}")
+        throughput = args.objects / sharded_seconds if sharded_seconds else float("inf")
+        print(f"sharded   : {sharded_seconds:.3f}s ({throughput:,.0f} objects/s)")
+        merged = engine.aggregate_stats()
+        print(
+            f"latency   : p50={merged['p50_latency']:.6f}s "
+            f"p95={merged['p95_latency']:.6f}s p99={merged['p99_latency']:.6f}s "
+            f"(merged from {int(merged['latency_samples'])} samples)"
+        )
+
+    if args.baseline:
+        solo = StreamEngine(keep_results=False, return_results=False)
+        for name, query in workload:
+            solo.subscribe(name, query, algorithm=args.algorithm)
+        started = time.perf_counter()
+        solo.push_many(stream)
+        solo.flush()
+        solo_seconds = time.perf_counter() - started
+        speedup = solo_seconds / sharded_seconds if sharded_seconds else float("inf")
+        print(
+            f"baseline  : {solo_seconds:.3f}s single-process "
+            f"-> {speedup:.2f}x speedup from {args.shards} shards"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# The command registry: the single source of truth of the CLI surface.
+# ----------------------------------------------------------------------
+COMMANDS: List[CliCommand] = [
+    CliCommand(
+        name="run",
+        help="run a single algorithm",
+        doc="Run one algorithm over one of the built-in datasets and print "
+        "the summary (running time, average candidate count, memory) plus "
+        "the final window's answer.",
+        configure=_configure_run,
+        run=_command_run,
+    ),
+    CliCommand(
+        name="compare",
+        help="compare several algorithms",
+        doc="Run several algorithms over the same stream, verify that their "
+        "answers agree, and print a comparison table.",
+        configure=_configure_compare,
+        run=_command_compare,
+    ),
+    CliCommand(
+        name="multi",
+        help="run several same-window queries on the shared plane",
+        doc="Run several queries with one window shape but different result "
+        "sizes ``k`` through the shared multi-query plane (one query group, "
+        "one ``k_max`` execution plan) and print per-query statistics plus "
+        "the plane's throughput against independent engines.",
+        configure=_configure_multi,
+        run=_command_multi,
+    ),
+    CliCommand(
+        name="control",
+        help="run a workload under the adaptive control plane",
+        doc="Run a workload under the adaptive control plane "
+        "(:mod:`repro.control`) and print the adaptation event log — which "
+        "tactics fired, what triggered them, and at which slide — plus "
+        "latency percentiles and the load-shedding accuracy account.  "
+        "``--json`` dumps the full record.",
+        configure=_configure_control,
+        run=_command_control,
+    ),
+    CliCommand(
+        name="shard",
+        help="run a mixed-window workload on the sharded execution plane",
+        doc="Run a mixed-window multi-query workload on the sharded "
+        "execution plane (:mod:`repro.cluster`): N worker processes, a "
+        "placement policy assigning queries to shards, and cluster-wide "
+        "statistics merged from per-shard samples.  ``--baseline`` also "
+        "runs the workload single-process and reports the speedup.",
+        configure=_configure_shard,
+        run=_command_shard,
+    ),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Continuous top-k queries over streaming data (SAP reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for command in COMMANDS:
+        sub = subparsers.add_parser(command.name, help=command.help)
+        command.configure(sub)
+        sub.set_defaults(run=command.run)
+    return parser
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the test-suite."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "compare":
-        return _command_compare(args)
-    if args.command == "multi":
-        return _command_multi(args)
-    if args.command == "control":
-        return _command_control(args)
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 1  # pragma: no cover
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+def _command_reference() -> str:
+    """The subcommand section of the module docstring, generated from
+    :data:`COMMANDS` so documentation and parser cannot drift apart."""
+    lines = [f"{len(COMMANDS)} subcommands are provided:", ""]
+    for command in COMMANDS:
+        lines.append(f"``{command.name}``")
+        lines.extend(
+            textwrap.wrap(
+                command.doc, width=72, initial_indent="    ", subsequent_indent="    "
+            )
+        )
+        lines.append("")
+    lines.extend(
+        [
+            "Examples::",
+            "",
+            "    python -m repro run --dataset STOCK --n 1000 --k 10 --s 50",
+            "    python -m repro compare --dataset TIMER --n 1000 --k 20 --s 50 \\",
+            "        --algorithms SAP MinTopK k-skyband",
+            "    python -m repro multi --dataset STOCK --n 1000 --s 50 --k 5 10 20 50",
+            "    python -m repro control --dataset DRIFT --objects 12000 --json",
+            "    python -m repro shard --shards 4 --queries 8 --baseline",
+        ]
+    )
+    return "\n".join(lines)
+
+
+__doc__ = (__doc__ or "") + "\n" + _command_reference()

@@ -1,0 +1,184 @@
+"""Merging per-shard results, statistics, and knowledge into one view.
+
+Each subscription lives on exactly one shard, so per-subscription records
+merge by disjoint union.  Cluster-wide *distributional* statistics are the
+subtle part: a latency percentile of the cluster is **not** the average of
+the shards' percentiles (a shard with 10 slow slides and one with 10 000
+fast ones would average to nonsense).  The workers therefore ship their
+bounded per-slide latency samples, and :func:`merged_latency_stats`
+computes nearest-rank percentiles over the *combined* sample, weighting
+each sample by the number of slides it represents (collectors decimate
+long histories, so raw sample counts do not reflect slide counts).
+
+:class:`AggregatedKnowledge` is the control plane's cluster view: one
+controller runs per shard (each sees only its own engine), and this class
+folds their knowledge reports — adaptation events, shedding accounts,
+per-subscription sample counts — into a single audit surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def merge_disjoint(maps: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Union of per-shard name-keyed mappings (names are cluster-unique)."""
+    merged: Dict[str, object] = {}
+    for mapping in maps:
+        if not mapping:
+            continue
+        overlap = merged.keys() & mapping.keys()
+        if overlap:
+            raise ValueError(
+                f"subscription names appear on several shards: {sorted(overlap)}"
+            )
+        merged.update(mapping)
+    return merged
+
+
+def weighted_percentile(
+    samples: Sequence[Tuple[float, float]], fraction: float
+) -> float:
+    """Nearest-rank percentile of ``(value, weight)`` samples.
+
+    The value at the smallest cumulative-weight position covering
+    ``fraction`` of the total weight; matches
+    :func:`repro.core.metrics.percentile` when all weights are equal.
+    """
+    return weighted_percentiles(samples, (fraction,))[0]
+
+
+def weighted_percentiles(
+    samples: Sequence[Tuple[float, float]], fractions: Sequence[float]
+) -> List[float]:
+    """Several weighted percentiles from one sort of the sample."""
+    if not samples:
+        raise ValueError("cannot take a percentile of no values")
+    ordered = sorted(samples)
+    total = sum(weight for _, weight in ordered)
+    results: List[float] = []
+    for fraction in fractions:
+        target = fraction * total
+        cumulative = 0.0
+        chosen = ordered[-1][0]
+        for value, weight in ordered:
+            cumulative += weight
+            if cumulative >= target:
+                chosen = value
+                break
+        results.append(chosen)
+    return results
+
+
+def merged_latency_stats(
+    telemetry_maps: Sequence[Dict[str, Dict[str, object]]],
+) -> Dict[str, float]:
+    """Cluster-wide latency distribution from per-shard telemetry.
+
+    Percentiles are computed over the union of the shards' retained
+    latency samples, with each sample weighted by how many slides it
+    represents (``slides / len(samples)`` of its subscription): the
+    collectors decimate long-running subscriptions' samples, so an
+    unweighted union would hand a quiet query the same influence as one
+    that processed a thousand times more slides.  Totals and maxima are
+    exact sums/maxima of the per-subscription aggregates.
+    """
+    samples: List[Tuple[float, float]] = []
+    slides = 0
+    delivered = 0
+    latency_max = 0.0
+    for telemetry in telemetry_maps:
+        for record in telemetry.values():
+            stats = record["stats"]
+            latencies = record["latencies"]
+            if latencies:
+                weight = float(stats["slides"]) / len(latencies)
+                samples.extend((value, weight) for value in latencies)
+            slides += int(stats["slides"])
+            delivered += int(stats["results_delivered"])
+            latency_max = max(latency_max, float(stats["max_latency"]))
+    merged: Dict[str, float] = {
+        "slides": float(slides),
+        "results_delivered": float(delivered),
+        "max_latency": latency_max,
+    }
+    percentiles = (
+        weighted_percentiles(samples, (0.5, 0.95, 0.99)) if samples else [0.0] * 3
+    )
+    merged["p50_latency"], merged["p95_latency"], merged["p99_latency"] = percentiles
+    merged["median_latency"] = merged["p50_latency"]
+    merged["latency_samples"] = float(len(samples))
+    return merged
+
+
+class AggregatedKnowledge:
+    """Read-only cluster view over the per-shard controllers' knowledge.
+
+    Built from the ``controller_report`` payloads of every shard that has
+    a controller attached; shards without one contribute nothing.
+    """
+
+    def __init__(self, reports: Sequence[Optional[Dict[str, object]]]) -> None:
+        self._reports = [report for report in reports if report is not None]
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards that reported a controller."""
+        return len(self._reports)
+
+    def events(self) -> List[Dict[str, object]]:
+        """Every shard's adaptation events, tagged with their shard and
+        ordered by slide index (ties: shard order) — one audit log."""
+        merged: List[Dict[str, object]] = []
+        for report in self._reports:
+            for event in report["events"]:
+                tagged = dict(event)
+                tagged["shard"] = report["shard"]
+                merged.append(tagged)
+        merged.sort(key=lambda event: (event["slide_index"], event["shard"]))
+        return merged
+
+    def applied_events(self) -> List[Dict[str, object]]:
+        return [event for event in self.events() if event["applied"]]
+
+    @property
+    def events_total(self) -> int:
+        """Exact count of logged events across shards (the per-shard logs
+        are bounded, this counter is not)."""
+        return sum(report["knowledge"]["events_total"] for report in self._reports)
+
+    def shedding(self) -> Dict[str, object]:
+        """Combined load-shedding accuracy account across shards."""
+        admitted = sum(report["accuracy"]["admitted"] for report in self._reports)
+        shed = sum(report["accuracy"]["shed"] for report in self._reports)
+        engagements = sum(
+            report["accuracy"]["engagements"] for report in self._reports
+        )
+        total = admitted + shed
+        return {
+            "admitted": admitted,
+            "shed": shed,
+            "shed_fraction": shed / total if total else 0.0,
+            "engagements": engagements,
+            "exact": shed == 0,
+        }
+
+    def subscriptions(self) -> Dict[str, Dict[str, object]]:
+        """Per-subscription monitor summaries, tagged with their shard."""
+        merged: Dict[str, Dict[str, object]] = {}
+        for report in self._reports:
+            for name, summary in report["knowledge"]["subscriptions"].items():
+                tagged = dict(summary)
+                tagged["shard"] = report["shard"]
+                merged[name] = tagged
+        return merged
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly summary (the CLI's ``--json`` output)."""
+        return {
+            "shards_with_controllers": self.shard_count,
+            "subscriptions": self.subscriptions(),
+            "events": self.events(),
+            "events_total": self.events_total,
+            "shedding": self.shedding(),
+        }

@@ -1,0 +1,255 @@
+"""The shard router: process handles, queues, fan-out, and barriers.
+
+:class:`ShardRouter` owns the worker processes and the two queues of each
+(commands in, replies out).  The data path is asynchronous — ``push``
+batches are enqueued to every interested shard without waiting, so all
+workers crunch in parallel — while the control path is synchronous
+request/reply.  Because one worker processes its commands strictly in
+order, a synchronous request also acts as a barrier for everything queued
+to that shard before it; :meth:`barrier` exploits this to drain the whole
+cluster before operations that need a consistent cut (stats, flush,
+rebalance, close).
+
+Bounded command queues give natural backpressure: a producer that outruns
+the workers blocks on ``put`` instead of buffering the stream in memory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from queue import Empty, Full
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ReproError
+from ..core.state import dumps
+from .worker import shard_worker_main
+
+#: Command-queue depth per worker.  Small on purpose: each entry can carry
+#: a whole slide-aligned chunk, so even a depth of 8 keeps every worker
+#: busy while bounding the in-flight stream to O(depth * chunk).
+DEFAULT_QUEUE_DEPTH = 8
+
+#: How long :meth:`ShardRouter.request` waits between liveness checks of a
+#: worker that has not replied yet.
+REPLY_POLL_SECONDS = 1.0
+
+
+class ShardError(ReproError):
+    """A shard worker failed or died; carries the remote traceback."""
+
+
+class _ShardHandle:
+    """One worker process plus its queues and liveness state."""
+
+    __slots__ = ("shard_id", "process", "commands", "replies")
+
+    def __init__(self, shard_id: int, ctx, queue_depth: int) -> None:
+        self.shard_id = shard_id
+        self.commands = ctx.Queue(maxsize=queue_depth)
+        self.replies = ctx.Queue()
+        self.process = ctx.Process(
+            target=shard_worker_main,
+            args=(shard_id, self.commands, self.replies),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+
+
+class ShardRouter:
+    """Owns the worker pool; routes commands and collects replies."""
+
+    def __init__(
+        self,
+        shard_count: int,
+        *,
+        start_method: Optional[str] = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        reply_timeout: Optional[float] = None,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be positive, got {shard_count}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        # ``fork`` starts workers in milliseconds and is the Linux default;
+        # ``spawn`` works too (the worker entry point is importable) and is
+        # the fallback where fork is unavailable.
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = mp.get_context(start_method)
+        self.start_method = start_method
+        self.reply_timeout = reply_timeout
+        self._shards: List[_ShardHandle] = [
+            _ShardHandle(shard_id, self._ctx, queue_depth)
+            for shard_id in range(shard_count)
+        ]
+        for shard in self._shards:
+            shard.process.start()
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def shard_ids(self) -> List[int]:
+        return [shard.shard_id for shard in self._shards]
+
+    def _handle(self, shard_id: int) -> _ShardHandle:
+        try:
+            return self._shards[shard_id]
+        except IndexError:
+            raise ValueError(
+                f"no shard {shard_id}; cluster has {len(self._shards)} shards"
+            ) from None
+
+    def _put(self, shard: _ShardHandle, message: Tuple) -> None:
+        """Enqueue one command with backpressure *and* a liveness check:
+        a worker that died with a full command queue must surface as a
+        :class:`ShardError` instead of blocking the producer forever."""
+        while True:
+            try:
+                shard.commands.put(message, timeout=REPLY_POLL_SECONDS)
+                return
+            except Full:
+                if not shard.process.is_alive():
+                    raise ShardError(
+                        f"shard {shard.shard_id} died (exit code "
+                        f"{shard.process.exitcode}) with a full command queue"
+                    ) from None
+
+    # ------------------------------------------------------------------
+    # Data path (asynchronous)
+    # ------------------------------------------------------------------
+    def send(self, shard_id: int, message: Tuple) -> None:
+        """Enqueue a fire-and-forget command (blocks on backpressure)."""
+        self._put(self._handle(shard_id), message)
+
+    def push_chunk(self, chunk: Sequence, shard_ids: Sequence[int]) -> None:
+        """Fan one slide-aligned chunk out to the given shards."""
+        message = ("push", chunk)
+        for shard_id in shard_ids:
+            self._put(self._handle(shard_id), message)
+
+    # ------------------------------------------------------------------
+    # Control path (synchronous request/reply)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _checked(message: Tuple) -> Tuple:
+        """Validate that a control message pickles *before* enqueueing it.
+
+        ``mp.Queue`` serializes in a background feeder thread: an
+        unpicklable payload (a lambda preference, a closure option) would
+        otherwise never reach the worker, and the caller would block
+        forever waiting for a reply that cannot come.  Failing here turns
+        that silent hang into a clear :class:`StateSerializationError`.
+        The data path skips this check (chunks of plain
+        :class:`StreamObject`; double-pickling every chunk would dominate
+        the fan-out cost)."""
+        dumps(message)
+        return message
+
+    def request(self, shard_id: int, message: Tuple):
+        """Send a synchronous command and return its payload.
+
+        Raises :class:`ShardError` when the worker reports a failure or
+        dies before replying, and
+        :class:`~repro.core.state.StateSerializationError` when the
+        message itself cannot cross the process boundary.
+        """
+        shard = self._handle(shard_id)
+        self._put(shard, self._checked(message))
+        return self._await_reply(shard, message[0])
+
+    def broadcast(self, message: Tuple, shard_ids: Optional[Sequence[int]] = None):
+        """Send a synchronous command to several shards; returns the
+        payloads in shard order.  The sends all go out before any reply is
+        awaited, so the shards execute concurrently.
+
+        Every reply is consumed even when one shard errors — otherwise the
+        unconsumed "ok" replies of the healthy shards would desynchronize
+        the request/reply pairing of every later command.  The first
+        shard's error (in shard order) is raised after the collection
+        pass; a dead shard's missing reply cannot stall the drain of the
+        others.
+        """
+        targets = [self._handle(s) for s in (shard_ids if shard_ids is not None else self.shard_ids())]
+        message = self._checked(message)
+        for shard in targets:
+            self._put(shard, message)
+        payloads = []
+        first_error: Optional[ShardError] = None
+        for shard in targets:
+            try:
+                payloads.append(self._await_reply(shard, message[0]))
+            except ShardError as exc:
+                payloads.append(None)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return payloads
+
+    def barrier(self, shard_ids: Optional[Sequence[int]] = None) -> int:
+        """Wait until every queued command has been processed; returns the
+        total number of objects pushed across the drained shards."""
+        return sum(self.broadcast(("sync",), shard_ids))
+
+    def _await_reply(self, shard: _ShardHandle, op: str):
+        deadline = (
+            time.monotonic() + self.reply_timeout
+            if self.reply_timeout is not None
+            else None
+        )
+        while True:
+            try:
+                status, payload = shard.replies.get(timeout=REPLY_POLL_SECONDS)
+            except Empty:
+                if not shard.process.is_alive():
+                    raise ShardError(
+                        f"shard {shard.shard_id} died (exit code "
+                        f"{shard.process.exitcode}) before replying to {op!r}"
+                    ) from None
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ShardError(
+                        f"shard {shard.shard_id} did not reply to {op!r} "
+                        f"within {self.reply_timeout}s"
+                    ) from None
+                continue
+            if status == "err":
+                raise ShardError(f"shard {shard.shard_id} {op!r} failed: {payload}")
+            return payload
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Stop and reap every worker (idempotent, never raises)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for shard in self._shards:
+            try:
+                # Bounded: a dead worker with a full queue must not hang
+                # shutdown; terminate() below reaps it regardless.
+                shard.commands.put(("stop",), timeout=1.0)
+            except Exception:
+                pass
+        for shard in self._shards:
+            shard.process.join(timeout=join_timeout)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=join_timeout)
+        for shard in self._shards:
+            for queue in (shard.commands, shard.replies):
+                try:
+                    queue.close()
+                    queue.cancel_join_thread()
+                except Exception:
+                    pass
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.stop(join_timeout=0.5)
+        except Exception:
+            pass

@@ -1,0 +1,524 @@
+"""The sharded execution plane: many engines, many processes, one facade.
+
+:class:`ShardedStreamEngine` looks like a :class:`repro.StreamEngine` but
+runs every query on one of N worker processes, each hosting a full
+single-process engine.  Python's GIL caps a single engine at one core no
+matter how many queries the shared plane dedupes; sharding is the axis
+that turns additional cores into throughput::
+
+    engine = ShardedStreamEngine(shards=4)
+    for user, (n, k, s) in dashboards.items():
+        engine.subscribe(user, QuerySpec(n=n, k=k, s=s), algorithm="SAP")
+    engine.push_many(feed)            # fans slide-aligned chunks to all shards
+    engine.flush()
+    print(engine.aggregate_stats())   # percentiles merged from samples
+    engine.close()
+
+Division of labour:
+
+* *placement* (:mod:`repro.cluster.placement`) picks the shard of a new
+  subscription — by window-shape hash (keeps ``k_max`` plan sharing
+  intact) or least-loaded;
+* the *router* (:mod:`repro.cluster.router`) fans ``push_many`` chunks to
+  every shard that hosts subscriptions, asynchronously, with bounded
+  queues for backpressure;
+* the *merge layer* (:mod:`repro.cluster.merge`) combines per-shard
+  results, statistics (percentiles merged from raw samples, never
+  averaged), and control-plane knowledge;
+* *rebalancing* moves a live subscription between shards at a slide
+  boundary using the serialization layer (:mod:`repro.core.state`) — the
+  same drain-and-replay contract the control plane's rebuilds use, so a
+  moved query's answers are byte-identical to an unmoved one's.
+
+Because subscriptions cross a process boundary, ``subscribe`` takes an
+*algorithm name* from :mod:`repro.registry` (plus picklable options), not
+a live instance, and result callbacks are not supported — consume answers
+with ``results()`` / ``drain()`` on the returned handle.  Every query's
+preference function and options must be picklable (module-level, not
+lambdas).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.exceptions import AlgorithmStateError
+from ..core.object import StreamObject
+from ..core.query import TopKQuery
+from ..core.result import TopKResult
+from ..core.state import dumps
+from ..engine.spec import QuerySpec, resolve_query
+from .merge import AggregatedKnowledge, merge_disjoint, merged_latency_stats
+from .placement import PlacementPolicy, make_placement
+from .router import DEFAULT_QUEUE_DEPTH, ShardError, ShardRouter
+
+#: Requested fan-out chunk size (objects per router dispatch).  The actual
+#: chunk is the nearest slide-aligned size (see ``_aligned_chunk``); large
+#: chunks amortise queue/pickle overhead, which is the IPC cost driver.
+DEFAULT_CHUNK = 4096
+
+#: Ceiling for slide alignment, mirroring the control plane's bound: when
+#: the least common multiple of the subscribed slide sizes exceeds this,
+#: chunks keep the requested size (rebalances may then have to wait for a
+#: coincidental boundary).
+MAX_ALIGNED_CHUNK = 32_768
+
+
+class ShardSubscription:
+    """Handle for one query living on some shard of the cluster.
+
+    Mirrors the read side of :class:`repro.engine.Subscription`; all
+    methods are synchronous round-trips to the hosting worker.
+    """
+
+    def __init__(self, engine: "ShardedStreamEngine", name: str, query: TopKQuery) -> None:
+        self.name = name
+        self.query = query
+        self._engine = engine
+
+    @property
+    def shard(self) -> int:
+        """The shard currently hosting this query (changes on rebalance)."""
+        return self._engine.shard_of(self.name)
+
+    def results(self) -> List[TopKResult]:
+        """The retained answers, oldest first (see ``keep_results``)."""
+        return self._engine._request_shard(self.name, ("results", self.name, False))
+
+    def drain(self) -> List[TopKResult]:
+        """Fetch and discard the retained answers, oldest first."""
+        return self._engine._request_shard(self.name, ("results", self.name, True))
+
+    def latest(self) -> Optional[TopKResult]:
+        """The most recent answer, or ``None`` before the window fills."""
+        return self._engine._request_shard(self.name, ("latest", self.name))
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate performance statistics of this query (one round-trip
+        to the hosting shard, not a cluster-wide barrier)."""
+        return self._engine._request_shard(self.name, ("stats_one", self.name))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time view of the subscription's state (one round-trip
+        to the hosting shard, not a cluster-wide barrier)."""
+        return self._engine._request_shard(self.name, ("snapshot_one", self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardSubscription({self.name!r}, shard={self.shard})"
+
+
+class ShardedStreamEngine:
+    """Multi-process execution of continuous top-k queries behind one facade."""
+
+    def __init__(
+        self,
+        shards: int = 4,
+        *,
+        placement: Union[str, PlacementPolicy] = "hash-window",
+        chunk_size: int = DEFAULT_CHUNK,
+        keep_results: bool = True,
+        start_method: Optional[str] = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        reply_timeout: Optional[float] = None,
+    ) -> None:
+        """``shards`` worker processes are started immediately.
+
+        ``placement`` picks each subscription's shard (``"hash-window"``,
+        ``"least-loaded"``, or a :class:`PlacementPolicy` instance);
+        ``chunk_size`` is the requested router fan-out granularity;
+        ``keep_results`` is the default retention policy of new
+        subscriptions; ``start_method``/``queue_depth``/``reply_timeout``
+        tune the worker pool (defaults: platform fork, depth 8, wait
+        forever).
+        """
+        self._router = ShardRouter(
+            shards,
+            start_method=start_method,
+            queue_depth=queue_depth,
+            reply_timeout=reply_timeout,
+        )
+        self._placement = make_placement(placement)
+        self._chunk_size = chunk_size
+        self._default_keep_results = keep_results
+        self._handles: Dict[str, ShardSubscription] = {}
+        self._shard_of: Dict[str, int] = {}
+        self._loads: List[float] = [0.0] * shards
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        name: str,
+        spec: Union[QuerySpec, TopKQuery],
+        algorithm: str = "SAP",
+        *,
+        keep_results: Optional[bool] = None,
+        result_buffer: Optional[int] = None,
+        collect_metrics: bool = True,
+        shard: Optional[int] = None,
+        **algorithm_options: object,
+    ) -> ShardSubscription:
+        """Register a continuous query on some shard; return its handle.
+
+        ``algorithm`` must be a registry *name* (the instance is built
+        inside the worker process); ``shard`` overrides the placement
+        policy.  All other parameters match
+        :meth:`repro.engine.EngineCore.subscribe`, minus ``on_result``
+        (callbacks cannot cross process boundaries).
+        """
+        self._ensure_open()
+        if not isinstance(algorithm, str):
+            raise TypeError(
+                "the sharded engine takes an algorithm name from "
+                "repro.registry (the instance is constructed inside the "
+                f"worker process), got {type(algorithm).__name__}"
+            )
+        if name in self._handles:
+            raise ValueError(f"query {name!r} is already subscribed")
+        query = resolve_query(spec)
+        if shard is None:
+            shard = self._placement.place(query, self._loads)
+        elif not 0 <= shard < len(self._router):
+            raise ValueError(
+                f"shard {shard} out of range (cluster has {len(self._router)})"
+            )
+        keep = self._default_keep_results if keep_results is None else keep_results
+        self._router.request(
+            shard,
+            (
+                "subscribe",
+                name,
+                query,
+                algorithm,
+                algorithm_options,
+                keep,
+                result_buffer,
+                collect_metrics,
+            ),
+        )
+        handle = ShardSubscription(self, name, query)
+        self._handles[name] = handle
+        self._shard_of[name] = shard
+        self._loads[shard] += self._placement.load_of(query)
+        return handle
+
+    def unsubscribe(self, name: str) -> None:
+        """Close and remove one query from its shard."""
+        self._ensure_open()
+        shard = self.shard_of(name)
+        self._router.request(shard, ("unsubscribe", name))
+        self._forget(name, shard)
+
+    def _forget(self, name: str, shard: int) -> None:
+        handle = self._handles.pop(name)
+        del self._shard_of[name]
+        self._loads[shard] -= self._placement.load_of(handle.query)
+
+    def subscription(self, name: str) -> ShardSubscription:
+        try:
+            return self._handles[name]
+        except KeyError:
+            raise KeyError(
+                f"no subscription named {name!r}; active: {sorted(self._handles)}"
+            ) from None
+
+    def subscriptions(self) -> List[str]:
+        """Names of every subscription, in registration order."""
+        return list(self._handles)
+
+    def shard_of(self, name: str) -> int:
+        """The shard currently hosting ``name``."""
+        self.subscription(name)
+        return self._shard_of[name]
+
+    def describe_shards(self) -> List[Dict[str, object]]:
+        """Placement map: per shard, its load score and its queries."""
+        by_shard: Dict[int, List[str]] = {s: [] for s in self._router.shard_ids()}
+        for name, shard in self._shard_of.items():
+            by_shard[shard].append(name)
+        return [
+            {"shard": shard, "load": round(self._loads[shard], 6), "members": members}
+            for shard, members in by_shard.items()
+        ]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._handles
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    @property
+    def shards(self) -> int:
+        return len(self._router)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def push(self, obj: StreamObject) -> Dict[str, List[TopKResult]]:
+        """Feed one object to every shard hosting subscriptions.
+
+        Dispatch is asynchronous, so the returned mapping is always empty
+        — consume answers with ``results()`` / ``drain()``.  ``push`` costs
+        one queue round per shard per object; feed real volume through
+        :meth:`push_many`.
+        """
+        self._ensure_open()
+        targets = self._active_shards()
+        if not targets:
+            raise ValueError("no queries subscribed")
+        self._router.push_chunk([obj], targets)
+        return {}
+
+    def push_many(
+        self, objects: Iterable[StreamObject], *, chunk_size: Optional[int] = None
+    ) -> int:
+        """Fan an iterable out to the shards in slide-aligned chunks.
+
+        The iterable is consumed lazily; each chunk is enqueued to every
+        shard hosting subscriptions and processed by all of them in
+        parallel.  Chunk sizes are aligned to the least common multiple of
+        the subscribed count-based slide sizes, so — for queries whose
+        window size is a multiple of their slide (``n % s == 0``) — every
+        chunk boundary is an exact slide boundary, the points where
+        :meth:`rebalance` may move queries (see :meth:`slide_alignment`).
+        Returns the number of objects dispatched.
+        """
+        self._ensure_open()
+        targets = self._active_shards()
+        if not targets:
+            raise ValueError("no queries subscribed")
+        size = self._aligned_chunk(
+            self._chunk_size if chunk_size is None else chunk_size
+        )
+        count = 0
+        chunk: List[StreamObject] = []
+        for obj in objects:
+            chunk.append(obj)
+            if len(chunk) >= size:
+                self._router.push_chunk(chunk, targets)
+                count += len(chunk)
+                chunk = []
+        if chunk:
+            self._router.push_chunk(chunk, targets)
+            count += len(chunk)
+        return count
+
+    def flush(self) -> Dict[str, List[TopKResult]]:
+        """Drain the cluster, then emit end-of-stream reports of
+        time-based windows; returns the merged per-query answers.
+
+        No explicit barrier is needed: each worker drains its queued
+        pushes before handling the flush command (FIFO queue ordering).
+        """
+        self._ensure_open()
+        produced = self._router.broadcast(("flush",))
+        merged = merge_disjoint(produced)
+        return {name: merged[name] for name in self._handles if name in merged}
+
+    def synchronize(self) -> int:
+        """Block until every dispatched object has been processed; returns
+        the cluster-wide processed-object count."""
+        self._ensure_open()
+        return self._router.barrier()
+
+    def _active_shards(self) -> List[int]:
+        return sorted({shard for shard in self._shard_of.values()})
+
+    def slide_alignment(self) -> int:
+        """The cluster's slide-alignment quantum: the least common multiple
+        of the subscribed count-based slide sizes (1 when none applies, or
+        when the lcm would exceed :data:`MAX_ALIGNED_CHUNK`).
+
+        After pushing a whole multiple of this many objects through
+        :meth:`push_many` — at least the largest window size, for windows
+        whose size is a multiple of their slide — every count-based
+        subscription sits at an exact slide boundary, which is what
+        :meth:`rebalance` needs on the source shard.
+        """
+        lcm = 1
+        for handle in self._handles.values():
+            query = handle.query
+            if query.time_based:
+                continue
+            lcm = lcm * query.s // math.gcd(lcm, query.s)
+            if lcm > MAX_ALIGNED_CHUNK:
+                return 1
+        return lcm
+
+    def _aligned_chunk(self, requested: int) -> int:
+        if requested < 1:
+            raise ValueError(f"chunk_size must be positive, got {requested}")
+        lcm = self.slide_alignment()
+        if lcm <= 1:
+            return requested
+        if requested <= lcm:
+            return lcm
+        return (requested // lcm) * lcm
+
+    # ------------------------------------------------------------------
+    # Rebalancing (the serialization layer in action)
+    # ------------------------------------------------------------------
+    def rebalance(self, name: str, to_shard: int) -> ShardSubscription:
+        """Move a live subscription to another shard, answers preserved.
+
+        The subscription's state — configuration, window contents, slide
+        clock, retained answers, metrics — is captured and removed on the
+        source shard (behind any queued pushes, which the worker drains
+        first), and restored on the target through the standard
+        drain-and-replay path.  Subsequent answers are byte-identical to
+        an unmoved run.
+
+        Capture requires the source group to sit at an exact slide
+        boundary.  Slide-aligned chunking guarantees that after any
+        :meth:`push_many` call whose total is a multiple of
+        :meth:`slide_alignment` — *provided* the moved query's window size
+        is a multiple of its slide (``n % s == 0``).  A query with
+        ``n % s != 0`` reaches boundaries only at offsets ``n + j*s``,
+        which chunk alignment cannot hit in general; rebalancing such a
+        query raises a :class:`ShardError` naming the boundary rule, and
+        the subscription keeps running on its source shard.
+        """
+        self._ensure_open()
+        source = self.shard_of(name)
+        if not 0 <= to_shard < len(self._router):
+            raise ValueError(
+                f"shard {to_shard} out of range (cluster has {len(self._router)})"
+            )
+        if to_shard == source:
+            return self._handles[name]
+        state = self._router.request(source, ("capture", name, True))
+        # Pre-pickle once: restore_subscription accepts the bytes directly,
+        # so the (potentially large) window + retained results are not
+        # serialized a second time by the router's transport check.
+        payload = dumps(state)
+        try:
+            self._router.request(to_shard, ("restore", payload))
+        except Exception as target_error:
+            # Put the subscription back where it was; the capture removed it.
+            try:
+                self._router.request(source, ("restore", payload))
+            except Exception:
+                # Both shards refused: the subscription is hosted nowhere,
+                # so stop advertising it and surface the cause chain.
+                self._forget(name, source)
+                raise ShardError(
+                    f"rebalance of {name!r} failed on the target shard "
+                    f"{to_shard} and the rollback to shard {source} failed "
+                    "too; the subscription has been dropped"
+                ) from target_error
+            raise
+        handle = self._handles[name]
+        self._loads[source] -= self._placement.load_of(handle.query)
+        self._loads[to_shard] += self._placement.load_of(handle.query)
+        self._shard_of[name] = to_shard
+        return handle
+
+    # ------------------------------------------------------------------
+    # Reading answers and state
+    # ------------------------------------------------------------------
+    def results(self, name: str) -> List[TopKResult]:
+        """Retained answers of one query.  Queue ordering drains the
+        *hosting shard's* pending pushes first; use :meth:`synchronize`
+        for a cluster-wide drain."""
+        return self.subscription(name).results()
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-subscription statistics, merged across shards."""
+        self._ensure_open()
+        merged = merge_disjoint(self._router.broadcast(("stats",)))
+        return {name: merged[name] for name in self._handles if name in merged}
+
+    def aggregate_stats(self) -> Dict[str, float]:
+        """Cluster-wide latency distribution: percentiles computed over
+        the union of every subscription's retained samples (never an
+        average of per-shard percentiles)."""
+        self._ensure_open()
+        return merged_latency_stats(self._router.broadcast(("telemetry",)))
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Point-in-time state of every subscription, keyed by name."""
+        self._ensure_open()
+        merged = merge_disjoint(self._router.broadcast(("snapshot",)))
+        return {name: merged[name] for name in self._handles if name in merged}
+
+    def groups(self) -> List[Dict[str, object]]:
+        """Every shard's query groups, tagged with their shard."""
+        self._ensure_open()
+        described: List[Dict[str, object]] = []
+        for shard, groups in zip(self._router.shard_ids(), self._router.broadcast(("groups",))):
+            for group in groups:
+                tagged = dict(group)
+                tagged["shard"] = shard
+                described.append(tagged)
+        return described
+
+    def _request_shard(self, name: str, message) -> object:
+        """Synchronous request to the shard hosting ``name`` (drains that
+        shard's queued pushes first, by queue ordering)."""
+        self._ensure_open()
+        return self._router.request(self.shard_of(name), message)
+
+    # ------------------------------------------------------------------
+    # Adaptive control plane (one controller per shard)
+    # ------------------------------------------------------------------
+    def attach_controllers(self, policy=None) -> None:
+        """Attach an :class:`~repro.control.AdaptiveController` with this
+        policy to every shard's engine.  Each controller sees only its own
+        shard; read the cluster-wide picture with :meth:`knowledge`."""
+        self._ensure_open()
+        self._router.broadcast(("attach_controller", policy))
+
+    def detach_controllers(self) -> None:
+        """Detach every shard's controller (idempotent per shard)."""
+        self._ensure_open()
+        self._router.broadcast(("detach_controller",))
+
+    def knowledge(self) -> AggregatedKnowledge:
+        """Aggregated view over the per-shard controllers' knowledge:
+        merged adaptation events, combined shedding account, and
+        per-subscription monitor summaries."""
+        self._ensure_open()
+        return AggregatedKnowledge(self._router.broadcast(("controller_report",)))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> Dict[str, List[TopKResult]]:
+        """Flush every shard, stop the workers, and return the merged
+        final-flush answers.  Closing twice is a no-op.
+
+        Shutdown is best-effort: a shard that already failed (its error
+        was observable on every earlier synchronous call) cannot block the
+        rest of the cluster from stopping, so its final flush is skipped
+        rather than raised here.
+        """
+        if self._closed:
+            return {}
+        self._closed = True
+        try:
+            produced: Dict[str, List[TopKResult]] = {}
+            for shard_id in self._router.shard_ids():
+                try:
+                    produced.update(self._router.request(shard_id, ("close",)))
+                except ShardError:
+                    continue
+            return {name: produced[name] for name in self._handles if name in produced}
+        finally:
+            self._router.stop()
+
+    def __enter__(self) -> "ShardedStreamEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise AlgorithmStateError("the engine is closed")

@@ -1,0 +1,171 @@
+"""The shard worker: one :class:`StreamEngine` behind a command queue.
+
+Each worker is a separate OS process (its own interpreter, its own GIL)
+hosting a full single-process engine — query groups, ``k_max`` shared
+plans, and optionally an adaptive controller all work inside a shard
+exactly as they do locally.  The worker loop is deliberately dumb: it
+pops ``(opcode, ...)`` tuples off its command queue, applies them to the
+engine, and pushes ``("ok", payload)`` / ``("err", message)`` tuples onto
+its reply queue for synchronous opcodes.
+
+``push`` is the one asynchronous opcode: the router streams pre-chunked,
+slide-aligned object batches without waiting for replies (that is where
+the parallelism comes from), and any failure raised while processing a
+batch is latched and surfaced at the next synchronous opcode, so errors
+cannot disappear just because nobody was waiting.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Dict, Optional
+
+from ..control import AdaptiveController
+from ..engine import StreamEngine
+
+#: Opcodes that reply on the worker's reply queue.  ``push`` and ``stop``
+#: are fire-and-forget; everything else is synchronous.
+SYNC_OPS = frozenset(
+    {
+        "subscribe",
+        "unsubscribe",
+        "flush",
+        "sync",
+        "results",
+        "latest",
+        "stats",
+        "stats_one",
+        "snapshot_one",
+        "telemetry",
+        "snapshot",
+        "groups",
+        "capture",
+        "restore",
+        "attach_controller",
+        "detach_controller",
+        "controller_report",
+        "close",
+    }
+)
+
+
+def shard_worker_main(shard_id: int, commands, replies) -> None:
+    """Entry point of a worker process (module-level so every
+    multiprocessing start method can import it)."""
+    engine = StreamEngine(keep_results=True, return_results=True)
+    controller: Optional[AdaptiveController] = None
+    pushed = 0
+    failure: Optional[str] = None
+
+    def telemetry() -> Dict[str, Dict[str, object]]:
+        """Per-subscription statistics plus the raw bounded latency sample,
+        so the facade can merge percentiles from samples instead of
+        averaging per-shard percentiles (which would be wrong)."""
+        record: Dict[str, Dict[str, object]] = {}
+        for name in engine.subscriptions():
+            subscription = engine.subscription(name)
+            record[name] = {
+                "stats": subscription.stats(),
+                "latencies": list(subscription.metrics.latencies),
+                "shard": shard_id,
+            }
+        return record
+
+    while True:
+        message = commands.get()
+        op = message[0]
+        if op == "stop":
+            break
+        if op == "push":
+            if failure is not None:
+                continue  # the shard is broken; drop data, keep the error
+            try:
+                batch = message[1]
+                # The router pre-chunks to slide-aligned sizes; move the
+                # whole batch through each query group with one call.
+                engine.push_many(batch, chunk_size=max(1, len(batch)))
+                pushed += len(batch)
+            except BaseException:
+                failure = traceback.format_exc()
+            continue
+
+        # Synchronous opcodes.  SYNC_OPS is the contract: anything else is
+        # rejected here, so the dispatch below and the documented opcode
+        # split cannot drift apart.
+        if op not in SYNC_OPS:
+            replies.put(("err", f"unknown opcode {op!r}"))
+            continue
+        if failure is not None:
+            replies.put(("err", f"shard {shard_id} failed during push:\n{failure}"))
+            continue
+        try:
+            payload: object = None
+            if op == "subscribe":
+                _, name, query, algorithm, options, keep, buffer, metrics = message
+                engine.subscribe(
+                    name,
+                    query,
+                    algorithm=algorithm,
+                    keep_results=keep,
+                    result_buffer=buffer,
+                    collect_metrics=metrics,
+                    **options,
+                )
+            elif op == "unsubscribe":
+                engine.unsubscribe(message[1])
+            elif op == "flush":
+                payload = engine.flush()
+            elif op == "sync":
+                payload = pushed
+            elif op == "results":
+                _, name, drain = message
+                subscription = engine.subscription(name)
+                payload = (
+                    list(subscription.drain()) if drain else subscription.results()
+                )
+            elif op == "latest":
+                payload = engine.subscription(message[1]).latest()
+            elif op == "stats":
+                payload = engine.stats()
+            elif op == "stats_one":
+                payload = engine.subscription(message[1]).stats()
+            elif op == "snapshot_one":
+                payload = engine.subscription(message[1]).snapshot()
+            elif op == "telemetry":
+                payload = telemetry()
+            elif op == "snapshot":
+                payload = engine.snapshot()
+            elif op == "groups":
+                payload = engine.groups()
+            elif op == "capture":
+                _, name, remove = message
+                payload = engine.capture_subscription(name)
+                if remove:
+                    engine.unsubscribe(name)
+            elif op == "restore":
+                engine.restore_subscription(message[1])
+            elif op == "attach_controller":
+                if controller is not None:
+                    raise RuntimeError(f"shard {shard_id} already has a controller")
+                controller = AdaptiveController(message[1])
+                engine.attach_controller(controller)
+            elif op == "detach_controller":
+                engine.detach_controller()
+                controller = None
+            elif op == "controller_report":
+                if controller is None:
+                    payload = None
+                else:
+                    payload = {
+                        "shard": shard_id,
+                        "events": [event.as_dict() for event in controller.events()],
+                        "accuracy": controller.accuracy_report(),
+                        "knowledge": controller.knowledge.describe(),
+                    }
+            else:  # op == "close" (the last member of SYNC_OPS)
+                payload = engine.close()
+            replies.put(("ok", payload))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the facade
+            replies.put(
+                ("err", f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+            )

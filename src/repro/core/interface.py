@@ -96,13 +96,35 @@ class ContinuousTopKAlgorithm(ABC):
 
         The default rebuilds from the query alone, which is correct for
         every algorithm whose constructor signature is ``cls(query)``.
+
+        This is also the serialization contract of the library
+        (:mod:`repro.core.state`): the respawned instance must (a) carry
+        *every* construction-time option, not just the query, and (b) be
+        picklable, because transportable state is ``respawn() + window +
+        slide index`` — a restored instance is fast-forwarded and fed the
+        captured window as one synthetic slide, after which it must produce
+        byte-identical results to the uninterrupted original.  Algorithms
+        with extra constructor options must override this (see
+        :meth:`repro.baselines.sma.SMATopK.respawn`).
         """
         return type(self)(self.query)
 
     def fast_forward(self, slide_index: int) -> None:
         """Align any internal slide clock to ``slide_index`` before a
         mid-stream rebuild replays the live window.  The default is a
-        no-op: most algorithms derive their position from the events."""
+        no-op: most algorithms derive their position from the events.
+        Called on *fresh* instances only — both by the control plane's
+        live rebuilds and by state restores across process boundaries."""
+
+    def capture_state(self, window: Sequence[StreamObject], slide_index: Optional[int]):
+        """Transportable state at a slide boundary (see
+        :mod:`repro.core.state`): a versioned, picklable record from which
+        :func:`repro.core.state.restore_algorithm` rebuilds an equivalent
+        live instance in any process.
+        """
+        from .state import capture_algorithm
+
+        return capture_algorithm(self, tuple(window), slide_index)
 
     # ------------------------------------------------------------------
     def candidate_count(self) -> int:

@@ -154,6 +154,33 @@ class SlideBatcher:
         self._report_time = None
         return [event]
 
+    def seed(self, contents: Sequence[StreamObject], last_index: int) -> None:
+        """Load captured window state into a never-pushed batcher.
+
+        After seeding, the batcher behaves exactly as if it had consumed a
+        stream ending at the slide boundary ``last_index`` whose window
+        contents were ``contents``: the next ``s`` arrivals complete slide
+        ``last_index + 1`` with the correct expirations.  This is the
+        restore half of the serialization layer (:mod:`repro.core.state`);
+        only exact boundaries can be captured, so only full count-based
+        windows can be seeded.
+        """
+        if self.query.time_based:
+            raise InvalidQueryError("only count-based windows can be seeded")
+        if self._index or self._filled or self._pending or len(self._window):
+            raise InvalidQueryError("cannot seed a batcher that has consumed objects")
+        if len(contents) != self.query.n:
+            raise InvalidQueryError(
+                f"seeding needs exactly n={self.query.n} objects "
+                f"(a full window), got {len(contents)}"
+            )
+        if last_index < 0:
+            raise InvalidQueryError(f"last_index must be >= 0, got {last_index}")
+        for obj in contents:
+            self._window.append(obj)
+        self._filled = True
+        self._index = last_index + 1
+
     def window_size(self) -> int:
         """Number of stream objects currently held by the window."""
         return len(self._window)

@@ -5,17 +5,21 @@ This package is the library's single execution path.  See
 the shared multi-query plane (one :class:`QueryGroup` per window shape,
 with cross-query sharing plans at ``k_max``), :mod:`repro.engine.spec` for
 the query builder, and :mod:`repro.engine.subscription` for the per-query
-handle.  The legacy one-shot helpers (:func:`repro.run_algorithm`,
-:func:`repro.compare_algorithms`, :class:`repro.MultiQueryEngine`) are thin
-wrappers over these classes.
+handle.  The subscription/group bookkeeping lives in
+:mod:`repro.engine.core` (:class:`EngineCore`), which the sharded
+execution plane (:mod:`repro.cluster`) builds on as well.  The legacy
+one-shot helpers (:func:`repro.run_algorithm`,
+:func:`repro.compare_algorithms`) are thin wrappers over these classes.
 """
 
+from .core import EngineCore
 from .engine import StreamEngine
 from .group import QueryGroup, group_key_for
 from .spec import QuerySpec, resolve_query
 from .subscription import ResultCallback, Subscription
 
 __all__ = [
+    "EngineCore",
     "StreamEngine",
     "QueryGroup",
     "group_key_for",

@@ -1,0 +1,443 @@
+"""The engine core: subscription/group bookkeeping and local execution.
+
+:class:`EngineCore` is the part of the push-based engine that every
+execution plane shares: it owns the subscription registry, buckets
+subscriptions into :class:`~repro.engine.group.QueryGroup` objects by
+window shape, moves stream objects through the groups, and captures /
+restores serializable subscription state (:mod:`repro.core.state`).
+
+Two planes build on it rather than forking it:
+
+* :class:`repro.engine.StreamEngine` — the single-process facade; it adds
+  the adaptive control plane integration (controller attachment, the
+  load-shedding valve, slide-aligned chunking) by overriding the small
+  hook methods at the bottom of this class.
+* the shard workers of :mod:`repro.cluster` — each worker process hosts a
+  full :class:`StreamEngine`, and the sharded facade moves subscriptions
+  between workers with :meth:`capture_subscription` /
+  :meth:`restore_subscription`.
+
+The hooks (``_register_group``, ``_unregister_group``, ``_admit_one``,
+``_chunk_size_for``, ``_admission_filter``, ``_note_chunk``,
+``_after_ingest``) default to no-ops, so the core alone is a fully
+functional, control-plane-free engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from ..core.exceptions import AlgorithmStateError
+from ..core.interface import ContinuousTopKAlgorithm
+from ..core.object import StreamObject
+from ..core.query import TopKQuery
+from ..core.result import TopKResult
+from ..core.state import SubscriptionState, capture_subscription, check_version, loads
+from ..registry import create_algorithm
+from .group import GroupKey, QueryGroup, group_key_for
+from .spec import QuerySpec, resolve_query
+from .subscription import ResultCallback, Subscription
+
+#: What ``subscribe`` accepts as the algorithm: a registry name, a ready
+#: instance, or any factory/class called as ``factory(query, **options)``.
+AlgorithmLike = Union[str, ContinuousTopKAlgorithm, Callable[..., ContinuousTopKAlgorithm]]
+
+#: Default chunk size of ``push_many``: objects are drained from the input
+#: iterable in chunks of this many and moved through each query group with
+#: one call, instead of one full dispatch per object per subscription.
+PUSH_MANY_CHUNK = 256
+
+
+class EngineCore:
+    """Shared, push-based execution of any number of continuous queries."""
+
+    def __init__(self, *, keep_results: bool = True, return_results: bool = True) -> None:
+        """``keep_results`` is the default retention policy of new
+        subscriptions; ``return_results=False`` additionally makes
+        :meth:`push` / :meth:`flush` return empty mappings without
+        building them, for hot loops that only consume callbacks."""
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._groups: List[QueryGroup] = []
+        self._open_groups: Dict[GroupKey, QueryGroup] = {}
+        self._default_keep_results = keep_results
+        self._return_results = return_results
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        name: str,
+        spec: Union[QuerySpec, TopKQuery, None] = None,
+        algorithm: AlgorithmLike = "SAP",
+        *,
+        keep_results: Optional[bool] = None,
+        result_buffer: Optional[int] = None,
+        collect_metrics: bool = True,
+        on_result: Optional[ResultCallback] = None,
+        **algorithm_options: object,
+    ) -> Subscription:
+        """Register a continuous query and return its subscription handle.
+
+        Parameters
+        ----------
+        name:
+            Unique identifier of the query on this engine.
+        spec:
+            The query, as a :class:`QuerySpec` builder or a ready
+            :class:`TopKQuery`.  May be omitted when ``algorithm`` is an
+            instance (the instance already knows its query).
+        algorithm:
+            A name from :mod:`repro.registry` (default ``"SAP"``), an
+            algorithm instance, or a factory called as
+            ``factory(query, **algorithm_options)``.
+        keep_results / result_buffer:
+            Retention policy for answers: ``keep_results=False`` retains
+            nothing (callbacks still fire), ``result_buffer=b`` keeps only
+            the ``b`` most recent answers.  The default retains everything,
+            matching the legacy one-shot API.
+        collect_metrics:
+            Record candidate counts, memory, and per-slide latency.
+        on_result:
+            Optional callback invoked as ``callback(name, result)`` for
+            every answer.
+
+        The subscription joins the query group of its window shape.  A
+        group that has already consumed stream objects is full: the new
+        subscription then opens a fresh group (its window starts empty),
+        and only queries subscribed before the first push share state.
+        """
+        self._ensure_open()
+        if name in self._subscriptions:
+            raise ValueError(f"query {name!r} is already subscribed")
+
+        instance = self._resolve_algorithm(spec, algorithm, algorithm_options)
+        subscription = Subscription(
+            name,
+            instance,
+            keep_results=self._default_keep_results if keep_results is None else keep_results,
+            result_buffer=result_buffer,
+            collect_metrics=collect_metrics,
+        )
+        if on_result is not None:
+            subscription.on_result(on_result)
+        self._group_for(instance.query).add(subscription)
+        self._subscriptions[name] = subscription
+        return subscription
+
+    def unsubscribe(self, name: str) -> None:
+        """Close and remove one query."""
+        subscription = self._subscriptions.pop(name, None)
+        if subscription is None:
+            raise KeyError(f"no subscription named {name!r}")
+        subscription.close()
+        group = subscription.group
+        if group is not None:
+            group.remove(subscription)
+            if not len(group):
+                self._unregister_group(group)
+
+    def subscription(self, name: str) -> Subscription:
+        try:
+            return self._subscriptions[name]
+        except KeyError:
+            raise KeyError(
+                f"no subscription named {name!r}; active: {sorted(self._subscriptions)}"
+            ) from None
+
+    def subscriptions(self) -> List[str]:
+        """Names of every subscription, in registration order."""
+        return list(self._subscriptions)
+
+    def groups(self) -> List[Dict[str, object]]:
+        """Description of every query group and its shared plans."""
+        return [group.describe() for group in self._groups]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._subscriptions
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # Serializable state (rebalancing between engines / processes)
+    # ------------------------------------------------------------------
+    def capture_subscription(self, name: str) -> SubscriptionState:
+        """Capture one subscription as transportable, picklable state.
+
+        Only exact slide boundaries can be captured (the live window must
+        equal the last reported window), so captures line up with the same
+        points where the control plane may rebuild algorithms.  The
+        subscription keeps running here; pair with :meth:`unsubscribe` to
+        move it, or use the sharded engine's ``rebalance`` which does both
+        ends atomically.
+        """
+        subscription = self.subscription(name)
+        group = subscription.group
+        if group is None or not group.started:
+            # Never pushed: the window is empty and there is no slide clock.
+            return capture_subscription(subscription, (), None)
+        if group.time_based:
+            raise AlgorithmStateError(
+                "time-based subscriptions cannot be captured: their windows "
+                "have no exact slide boundaries"
+            )
+        if not group.at_slide_boundary():
+            raise AlgorithmStateError(
+                "capture is only possible at a slide boundary (window full, "
+                "no partial slide buffered); push a whole number of slides "
+                "or use slide-aligned chunking"
+            )
+        return capture_subscription(
+            subscription,
+            tuple(group.window_contents()),
+            group.last_slide_index(),
+        )
+
+    def restore_subscription(
+        self, state: Union[SubscriptionState, bytes]
+    ) -> Subscription:
+        """Re-home a captured subscription on this engine.
+
+        Accepts a :class:`~repro.core.state.SubscriptionState` or its
+        pickled bytes.  The subscription resumes with its retained answers,
+        metric aggregates, and — after the captured window is replayed
+        through the standard drain-and-replay path — produces byte-identical
+        answers to an uninterrupted run.  A restored subscription always
+        opens a fresh query group (its window position is its own).
+        """
+        self._ensure_open()
+        if isinstance(state, (bytes, bytearray)):
+            state = loads(bytes(state))
+        if not isinstance(state, SubscriptionState):
+            raise TypeError(
+                f"expected SubscriptionState or bytes, got {type(state).__name__}"
+            )
+        check_version(state.version)
+        if state.name in self._subscriptions:
+            raise ValueError(f"query {state.name!r} is already subscribed")
+        # Respawn once more so the state object stays reusable: restoring
+        # the same payload twice must not share one live instance.
+        subscription = Subscription(
+            state.name,
+            state.algorithm.respawn(),
+            keep_results=state.keep_results,
+            result_buffer=state.result_buffer,
+            collect_metrics=state.collect_metrics,
+        )
+        subscription._adopt_state(state)
+        if state.slide_index is None:
+            self._group_for(subscription.query).add(subscription)
+        else:
+            query = subscription.query
+            group = QueryGroup(query.n, query.s, query.time_based)
+            group.add(subscription)
+            group.prime(state.window, state.slide_index)
+            self._register_group(group)
+        self._subscriptions[state.name] = subscription
+        return subscription
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def push(self, obj: StreamObject) -> Dict[str, List[TopKResult]]:
+        """Feed one object to every open subscription.
+
+        Returns, per query name, the answers (possibly none) whose windows
+        were completed by this object.  With ``return_results=False`` the
+        mapping is never built and an empty dict is returned; callbacks
+        and retained results are unaffected.
+        """
+        self._ensure_open()
+        if not self._subscriptions:
+            raise ValueError("no queries subscribed")
+        if not self._admit_one(obj):
+            return {}
+        collect = self._return_results
+        produced = None
+        # Snapshot: result callbacks may unsubscribe (mutating the list).
+        for group in tuple(self._groups):
+            for subscription, results in group.push(obj, collect=collect):
+                if produced is None:
+                    produced = {}
+                produced[subscription.name] = results
+        self._after_ingest()
+        return self._ordered(produced)
+
+    def push_many(
+        self, objects: Iterable[StreamObject], *, chunk_size: int = PUSH_MANY_CHUNK
+    ) -> int:
+        """Feed any iterable of objects, lazily; return how many were pushed.
+
+        The iterable is never materialised — it is drained in chunks of
+        ``chunk_size`` objects that move through each query group with a
+        single batched call, so arbitrarily long generators stream through
+        in O(window) memory with none of ``push``'s per-object dispatch.
+        Answers are not collected (use callbacks, ``results()``, or
+        ``drain()``); they are produced in the same order as with ``push``.
+        """
+        self._ensure_open()
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        chunk_size = self._chunk_size_for(chunk_size)
+        count = 0
+        chunk: List[StreamObject] = []
+        # The admission filter can only engage/disengage between chunks —
+        # so it is hoisted out of the per-object loop and re-read after
+        # each chunk (None in the common unfiltered case).
+        admit = self._admission_filter()
+        for obj in objects:
+            if admit is not None and not admit(obj):
+                continue
+            chunk.append(obj)
+            if len(chunk) >= chunk_size:
+                count += self._push_chunk(chunk)
+                chunk = []
+                admit = self._admission_filter()
+        if chunk:
+            count += self._push_chunk(chunk)
+        return count
+
+    def _push_chunk(self, chunk: List[StreamObject]) -> int:
+        if not self._subscriptions:
+            raise ValueError("no queries subscribed")
+        for group in tuple(self._groups):
+            group.push_batch(chunk, collect=False)
+        self._note_chunk(len(chunk))
+        return len(chunk)
+
+    def flush(self) -> Dict[str, List[TopKResult]]:
+        """Emit the end-of-stream report of time-based windows (if any)."""
+        self._ensure_open()
+        collect = self._return_results
+        produced = None
+        for group in tuple(self._groups):
+            for subscription, results in group.flush(collect=collect):
+                if produced is None:
+                    produced = {}
+                produced[subscription.name] = results
+        self._after_ingest()
+        return self._ordered(produced)
+
+    def _ordered(
+        self, produced: Optional[Dict[str, List[TopKResult]]]
+    ) -> Dict[str, List[TopKResult]]:
+        """Re-key group-major results into subscription registration order."""
+        if not produced:
+            return {}
+        if len(produced) == 1:
+            return produced
+        return {name: produced[name] for name in self._subscriptions if name in produced}
+
+    # ------------------------------------------------------------------
+    # Reading answers and state
+    # ------------------------------------------------------------------
+    def results(self, name: str) -> List[TopKResult]:
+        """Retained answers of one query (see ``keep_results``)."""
+        return self.subscription(name).results()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Point-in-time state of every subscription, keyed by name."""
+        return {name: sub.snapshot() for name, sub in self._subscriptions.items()}
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate performance statistics of every subscription."""
+        return {name: sub.stats() for name, sub in self._subscriptions.items()}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> Dict[str, List[TopKResult]]:
+        """Flush pending time-based reports, then close every subscription.
+
+        Returns the answers produced by the final flush.  Closing twice is
+        a no-op; pushing after close raises :class:`AlgorithmStateError`.
+        """
+        if self._closed:
+            return {}
+        produced = self.flush()
+        for subscription in self._subscriptions.values():
+            subscription.close()
+        self._closed = True
+        return produced
+
+    def __enter__(self) -> "EngineCore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise AlgorithmStateError("the engine is closed")
+
+    def _group_for(self, query: TopKQuery) -> QueryGroup:
+        key = group_key_for(query)
+        group = self._open_groups.get(key)
+        if group is None or group.started:
+            group = QueryGroup(query.n, query.s, query.time_based)
+            self._open_groups[key] = group
+            self._register_group(group)
+        return group
+
+    @staticmethod
+    def _resolve_algorithm(
+        spec: Union[QuerySpec, TopKQuery, None],
+        algorithm: AlgorithmLike,
+        options: Dict[str, object],
+    ) -> ContinuousTopKAlgorithm:
+        if isinstance(algorithm, ContinuousTopKAlgorithm):
+            if options:
+                raise ValueError(
+                    "algorithm options cannot be applied to a ready instance: "
+                    f"{sorted(options)}"
+                )
+            if spec is not None and resolve_query(spec) != algorithm.query:
+                raise ValueError(
+                    "the given spec disagrees with the algorithm instance's query; "
+                    "omit the spec or build the instance from it"
+                )
+            return algorithm
+        if spec is None:
+            raise ValueError("a QuerySpec (or TopKQuery) is required")
+        query = resolve_query(spec)
+        if isinstance(algorithm, str):
+            return create_algorithm(algorithm, query, **options)
+        return algorithm(query, **options)
+
+    # ------------------------------------------------------------------
+    # Hooks (overridden by StreamEngine's control-plane integration)
+    # ------------------------------------------------------------------
+    def _register_group(self, group: QueryGroup) -> None:
+        """A new query group joined the engine."""
+        self._groups.append(group)
+
+    def _unregister_group(self, group: QueryGroup) -> None:
+        """A query group lost its last member and leaves the engine."""
+        self._groups.remove(group)
+        if self._open_groups.get(group.key) is group:
+            del self._open_groups[group.key]
+
+    def _admit_one(self, obj: StreamObject) -> bool:
+        """Admission decision of :meth:`push` (load-shedding valve)."""
+        return True
+
+    def _admission_filter(self) -> Optional[Callable[[StreamObject], bool]]:
+        """Per-chunk admission filter of :meth:`push_many` (None = admit all)."""
+        return None
+
+    def _chunk_size_for(self, requested: int) -> int:
+        """Opportunity to align ``push_many`` chunks to slide boundaries."""
+        return requested
+
+    def _note_chunk(self, count: int) -> None:
+        """A chunk of ``count`` objects finished moving through the groups."""
+
+    def _after_ingest(self) -> None:
+        """An ingest call (push / flush) completed."""

@@ -1,9 +1,11 @@
 """Push-based facade over every continuous top-k algorithm in the library.
 
-:class:`StreamEngine` is the single execution path of the reproduction:
-the one-shot :func:`repro.run_algorithm`, the comparison helper, the
-multi-query engine, the CLI, and the benchmarks all drive it.  Callers
-describe queries with :class:`~repro.engine.spec.QuerySpec` (or a plain
+:class:`StreamEngine` is the single-process execution path of the
+reproduction: the one-shot :func:`repro.run_algorithm`, the comparison
+helper, the CLI, and the benchmarks all drive it, and the sharded
+execution plane (:mod:`repro.cluster`) runs one of these per worker
+process.  Callers describe queries with
+:class:`~repro.engine.spec.QuerySpec` (or a plain
 :class:`~repro.core.query.TopKQuery`), attach any algorithm registered in
 :mod:`repro.registry` by name, and push stream objects one at a time::
 
@@ -14,6 +16,11 @@ describe queries with :class:`~repro.engine.spec.QuerySpec` (or a plain
         for result in fire.drain():
             alert(result)
     engine.close()
+
+All of the subscription/group bookkeeping and ingestion mechanics live in
+:class:`~repro.engine.core.EngineCore`; this class layers the adaptive
+control plane on top — controller attachment, the load-shedding valve,
+and slide-aligned chunking — through the core's hook methods.
 
 Internally the engine buckets subscriptions into
 :class:`~repro.engine.group.QueryGroup` objects, one per window shape
@@ -32,144 +39,28 @@ constant space.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Union
+from typing import Callable, Optional
 
 from ..core.exceptions import AlgorithmStateError
-from ..core.interface import ContinuousTopKAlgorithm
 from ..core.object import StreamObject
-from ..core.query import TopKQuery
-from ..core.result import TopKResult
-from ..registry import create_algorithm
-from .group import GroupKey, QueryGroup, group_key_for
-from .spec import QuerySpec, resolve_query
-from .subscription import ResultCallback, Subscription
+from .core import PUSH_MANY_CHUNK, AlgorithmLike, EngineCore
+from .group import QueryGroup
 
-#: What ``subscribe`` accepts as the algorithm: a registry name, a ready
-#: instance, or any factory/class called as ``factory(query, **options)``.
-AlgorithmLike = Union[str, ContinuousTopKAlgorithm, Callable[..., ContinuousTopKAlgorithm]]
-
-#: Default chunk size of ``push_many``: objects are drained from the input
-#: iterable in chunks of this many and moved through each query group with
-#: one call, instead of one full dispatch per object per subscription.
-PUSH_MANY_CHUNK = 256
+__all__ = ["StreamEngine", "AlgorithmLike", "PUSH_MANY_CHUNK"]
 
 
-class StreamEngine:
-    """Shared, push-based execution of any number of continuous queries."""
+class StreamEngine(EngineCore):
+    """Shared, push-based execution of any number of continuous queries.
+
+    Extends :class:`~repro.engine.core.EngineCore` with the adaptive
+    control plane: an attached :class:`repro.control.AdaptiveController`
+    receives per-slide telemetry, runs its MAPE loop after every ingest
+    call, and may shed load or rebuild algorithms at slide boundaries.
+    """
 
     def __init__(self, *, keep_results: bool = True, return_results: bool = True) -> None:
-        """``keep_results`` is the default retention policy of new
-        subscriptions; ``return_results=False`` additionally makes
-        :meth:`push` / :meth:`flush` return empty mappings without
-        building them, for hot loops that only consume callbacks."""
-        self._subscriptions: Dict[str, Subscription] = {}
-        self._groups: List[QueryGroup] = []
-        self._open_groups: Dict[GroupKey, QueryGroup] = {}
-        self._default_keep_results = keep_results
-        self._return_results = return_results
+        super().__init__(keep_results=keep_results, return_results=return_results)
         self._controller = None
-        self._closed = False
-
-    # ------------------------------------------------------------------
-    # Subscription management
-    # ------------------------------------------------------------------
-    def subscribe(
-        self,
-        name: str,
-        spec: Union[QuerySpec, TopKQuery, None] = None,
-        algorithm: AlgorithmLike = "SAP",
-        *,
-        keep_results: Optional[bool] = None,
-        result_buffer: Optional[int] = None,
-        collect_metrics: bool = True,
-        on_result: Optional[ResultCallback] = None,
-        **algorithm_options: object,
-    ) -> Subscription:
-        """Register a continuous query and return its subscription handle.
-
-        Parameters
-        ----------
-        name:
-            Unique identifier of the query on this engine.
-        spec:
-            The query, as a :class:`QuerySpec` builder or a ready
-            :class:`TopKQuery`.  May be omitted when ``algorithm`` is an
-            instance (the instance already knows its query).
-        algorithm:
-            A name from :mod:`repro.registry` (default ``"SAP"``), an
-            algorithm instance, or a factory called as
-            ``factory(query, **algorithm_options)``.
-        keep_results / result_buffer:
-            Retention policy for answers: ``keep_results=False`` retains
-            nothing (callbacks still fire), ``result_buffer=b`` keeps only
-            the ``b`` most recent answers.  The default retains everything,
-            matching the legacy one-shot API.
-        collect_metrics:
-            Record candidate counts, memory, and per-slide latency.
-        on_result:
-            Optional callback invoked as ``callback(name, result)`` for
-            every answer.
-
-        The subscription joins the query group of its window shape.  A
-        group that has already consumed stream objects is full: the new
-        subscription then opens a fresh group (its window starts empty),
-        and only queries subscribed before the first push share state.
-        """
-        self._ensure_open()
-        if name in self._subscriptions:
-            raise ValueError(f"query {name!r} is already subscribed")
-
-        instance = self._resolve_algorithm(spec, algorithm, algorithm_options)
-        subscription = Subscription(
-            name,
-            instance,
-            keep_results=self._default_keep_results if keep_results is None else keep_results,
-            result_buffer=result_buffer,
-            collect_metrics=collect_metrics,
-        )
-        if on_result is not None:
-            subscription.on_result(on_result)
-        self._group_for(instance.query).add(subscription)
-        self._subscriptions[name] = subscription
-        return subscription
-
-    def unsubscribe(self, name: str) -> None:
-        """Close and remove one query."""
-        subscription = self._subscriptions.pop(name, None)
-        if subscription is None:
-            raise KeyError(f"no subscription named {name!r}")
-        subscription.close()
-        group = subscription.group
-        if group is not None:
-            group.remove(subscription)
-            if not len(group):
-                self._groups.remove(group)
-                if self._open_groups.get(group.key) is group:
-                    del self._open_groups[group.key]
-                if self._controller is not None:
-                    self._controller._discard_group(group)
-
-    def subscription(self, name: str) -> Subscription:
-        try:
-            return self._subscriptions[name]
-        except KeyError:
-            raise KeyError(
-                f"no subscription named {name!r}; active: {sorted(self._subscriptions)}"
-            ) from None
-
-    def subscriptions(self) -> List[str]:
-        """Names of every subscription, in registration order."""
-        return list(self._subscriptions)
-
-    def groups(self) -> List[Dict[str, object]]:
-        """Description of every query group and its shared plans."""
-        return [group.describe() for group in self._groups]
-
-    def __contains__(self, name: object) -> bool:
-        return name in self._subscriptions
-
-    def __len__(self) -> int:
-        return len(self._subscriptions)
 
     # ------------------------------------------------------------------
     # Adaptive control plane
@@ -212,188 +103,49 @@ class StreamEngine:
         return controller
 
     # ------------------------------------------------------------------
-    # Ingestion
+    # EngineCore hooks: wire the controller into the ingest path
     # ------------------------------------------------------------------
-    def push(self, obj: StreamObject) -> Dict[str, List[TopKResult]]:
-        """Feed one object to every open subscription.
+    def _register_group(self, group: QueryGroup) -> None:
+        super()._register_group(group)
+        if self._controller is not None:
+            self._controller._adopt_group(group)
 
-        Returns, per query name, the answers (possibly none) whose windows
-        were completed by this object.  With ``return_results=False`` the
-        mapping is never built and an empty dict is returned; callbacks
-        and retained results are unaffected.
-        """
-        self._ensure_open()
-        if not self._subscriptions:
-            raise ValueError("no queries subscribed")
+    def _unregister_group(self, group: QueryGroup) -> None:
+        super()._unregister_group(group)
+        if self._controller is not None:
+            self._controller._discard_group(group)
+
+    def _admit_one(self, obj: StreamObject) -> bool:
         controller = self._controller
-        if controller is not None:
-            if controller.shedding_active and not controller.admit(obj):
-                return {}
-            controller.note_admitted(1)
-        collect = self._return_results
-        produced = None
-        # Snapshot: result callbacks may unsubscribe (mutating the list).
-        for group in tuple(self._groups):
-            for subscription, results in group.push(obj, collect=collect):
-                if produced is None:
-                    produced = {}
-                produced[subscription.name] = results
-        if controller is not None:
-            controller.tick()
-        return self._ordered(produced)
+        if controller is None:
+            return True
+        if controller.shedding_active and not controller.admit(obj):
+            return False
+        controller.note_admitted(1)
+        return True
 
-    def push_many(
-        self, objects: Iterable[StreamObject], *, chunk_size: int = PUSH_MANY_CHUNK
-    ) -> int:
-        """Feed any iterable of objects, lazily; return how many were pushed.
-
-        The iterable is never materialised — it is drained in chunks of
-        ``chunk_size`` objects that move through each query group with a
-        single batched call, so arbitrarily long generators stream through
-        in O(window) memory with none of ``push``'s per-object dispatch.
-        Answers are not collected (use callbacks, ``results()``, or
-        ``drain()``); they are produced in the same order as with ``push``.
-        """
-        self._ensure_open()
-        if chunk_size < 1:
-            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    def _admission_filter(self) -> Optional[Callable[[StreamObject], bool]]:
         controller = self._controller
-        if controller is not None:
-            # Slide-aligned chunks make chunk ends coincide with slide
-            # boundaries, the only points where tactics may be applied.
-            chunk_size = controller.aligned_chunk(chunk_size)
-        count = 0
-        chunk: List[StreamObject] = []
-        # Shedding can only engage/disengage inside a tick, i.e. between
-        # chunks — so the flag is hoisted out of the per-object loop and
-        # re-read after each chunk.
-        shedding = controller is not None and controller.shedding_active
-        for obj in objects:
-            if shedding and not controller.admit(obj):
-                continue
-            chunk.append(obj)
-            if len(chunk) >= chunk_size:
-                count += self._push_chunk(chunk)
-                chunk = []
-                shedding = controller is not None and controller.shedding_active
-        if chunk:
-            count += self._push_chunk(chunk)
-        return count
+        if controller is not None and controller.shedding_active:
+            return controller.admit
+        return None
 
-    def _push_chunk(self, chunk: List[StreamObject]) -> int:
-        if not self._subscriptions:
-            raise ValueError("no queries subscribed")
-        for group in tuple(self._groups):
-            group.push_batch(chunk, collect=False)
-        controller = self._controller
-        if controller is not None:
-            controller.note_admitted(len(chunk))
-            controller.tick()
-        return len(chunk)
+    def _chunk_size_for(self, requested: int) -> int:
+        # Slide-aligned chunks make chunk ends coincide with slide
+        # boundaries, the only points where tactics may be applied.
+        if self._controller is not None:
+            return self._controller.aligned_chunk(requested)
+        return requested
 
-    def flush(self) -> Dict[str, List[TopKResult]]:
-        """Emit the end-of-stream report of time-based windows (if any)."""
-        self._ensure_open()
-        collect = self._return_results
-        produced = None
-        for group in tuple(self._groups):
-            for subscription, results in group.flush(collect=collect):
-                if produced is None:
-                    produced = {}
-                produced[subscription.name] = results
+    def _note_chunk(self, count: int) -> None:
+        if self._controller is not None:
+            self._controller.note_admitted(count)
+            self._controller.tick()
+
+    def _after_ingest(self) -> None:
         if self._controller is not None:
             self._controller.tick()
-        return self._ordered(produced)
-
-    def _ordered(
-        self, produced: Optional[Dict[str, List[TopKResult]]]
-    ) -> Dict[str, List[TopKResult]]:
-        """Re-key group-major results into subscription registration order."""
-        if not produced:
-            return {}
-        if len(produced) == 1:
-            return produced
-        return {name: produced[name] for name in self._subscriptions if name in produced}
 
     # ------------------------------------------------------------------
-    # Reading answers and state
-    # ------------------------------------------------------------------
-    def results(self, name: str) -> List[TopKResult]:
-        """Retained answers of one query (see ``keep_results``)."""
-        return self.subscription(name).results()
-
-    def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """Point-in-time state of every subscription, keyed by name."""
-        return {name: sub.snapshot() for name, sub in self._subscriptions.items()}
-
-    def stats(self) -> Dict[str, Dict[str, float]]:
-        """Aggregate performance statistics of every subscription."""
-        return {name: sub.stats() for name, sub in self._subscriptions.items()}
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    @property
-    def closed(self) -> bool:
-        return self._closed
-
-    def close(self) -> Dict[str, List[TopKResult]]:
-        """Flush pending time-based reports, then close every subscription.
-
-        Returns the answers produced by the final flush.  Closing twice is
-        a no-op; pushing after close raises :class:`AlgorithmStateError`.
-        """
-        if self._closed:
-            return {}
-        produced = self.flush()
-        for subscription in self._subscriptions.values():
-            subscription.close()
-        self._closed = True
-        return produced
-
     def __enter__(self) -> "StreamEngine":
         return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
-
-    # ------------------------------------------------------------------
-    def _ensure_open(self) -> None:
-        if self._closed:
-            raise AlgorithmStateError("the engine is closed")
-
-    def _group_for(self, query: TopKQuery) -> QueryGroup:
-        key = group_key_for(query)
-        group = self._open_groups.get(key)
-        if group is None or group.started:
-            group = QueryGroup(query.n, query.s, query.time_based)
-            self._groups.append(group)
-            self._open_groups[key] = group
-            if self._controller is not None:
-                self._controller._adopt_group(group)
-        return group
-
-    @staticmethod
-    def _resolve_algorithm(
-        spec: Union[QuerySpec, TopKQuery, None],
-        algorithm: AlgorithmLike,
-        options: Dict[str, object],
-    ) -> ContinuousTopKAlgorithm:
-        if isinstance(algorithm, ContinuousTopKAlgorithm):
-            if options:
-                raise ValueError(
-                    "algorithm options cannot be applied to a ready instance: "
-                    f"{sorted(options)}"
-                )
-            if spec is not None and resolve_query(spec) != algorithm.query:
-                raise ValueError(
-                    "the given spec disagrees with the algorithm instance's query; "
-                    "omit the spec or build the instance from it"
-                )
-            return algorithm
-        if spec is None:
-            raise ValueError("a QuerySpec (or TopKQuery) is required")
-        query = resolve_query(spec)
-        if isinstance(algorithm, str):
-            return create_algorithm(algorithm, query, **options)
-        return algorithm(query, **options)

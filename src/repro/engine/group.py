@@ -31,6 +31,7 @@ from ..core.object import StreamObject
 from ..core.query import TopKQuery
 from ..core.result import TopKResult
 from ..core.shared import SharedPlan, SharedSlide
+from ..core.state import replay_event
 from ..core.window import SlideBatcher, SlideEvent
 from .subscription import Subscription
 
@@ -206,29 +207,57 @@ class QueryGroup:
         for plan in new_plans:
             plan.fast_forward(slide_index)
         self._plans.extend(new_plans)
+        self._replay(ordered, new_plans, slide_index)
+        return time.perf_counter() - started
 
-        # Replay the live window into the rebuilt pipeline as one synthetic
-        # slide event (same shape as the initial window-fill event).  The
-        # produced answers are discarded: this window was already reported.
-        contents = self._batcher.window_contents()
-        event = SlideEvent(
-            index=slide_index,
-            arrivals=tuple(contents),
-            expirations=(),
-            window_end=contents[-1].t if contents else 0,
-        )
+    def prime(self, contents: Sequence[StreamObject], last_index: int) -> None:
+        """Seed a never-started group with captured window state.
+
+        This is the restore half of subscription serialization
+        (:mod:`repro.core.state`): the members — all fresh, never-pushed
+        algorithm instances — adopt a window captured at slide boundary
+        ``last_index`` in some other group (typically in another process).
+        The group's batcher is seeded, shared plans are formed, every
+        member is fast-forwarded to the captured slide clock, and the
+        window is replayed through the standard drain-and-replay path, so
+        subsequent slides produce byte-identical answers to the group the
+        state was captured from.
+        """
+        if self._started:
+            raise AlgorithmStateError("cannot prime a group that has started")
+        if not self._members:
+            raise AlgorithmStateError("cannot prime a group with no members")
+        self._batcher.seed(contents, last_index)
+        self._started = True
+        for subscription in self._members:
+            subscription.algorithm.fast_forward(last_index)
+        self._plans.extend(self._form_plans(self._members))
+        for plan in self._plans:
+            plan.fast_forward(last_index)
+        self._replay(self._members, self._plans, last_index)
+
+    def _replay(
+        self,
+        subscriptions: Sequence[Subscription],
+        plans: Sequence[SharedPlan],
+        slide_index: int,
+    ) -> None:
+        """Replay the live window into ``subscriptions`` as one synthetic
+        slide event (same shape as the initial window-fill event).  The
+        produced answers are discarded: this window was already reported.
+        """
+        event = replay_event(tuple(self._batcher.window_contents()), slide_index)
         planned: Dict[int, SharedSlide] = {}
-        for plan in new_plans:
+        for plan in plans:
             shared = plan.prepare(event)
             for subscription in plan.subscriptions():
                 planned[id(subscription)] = shared
-        for subscription in ordered:
+        for subscription in subscriptions:
             shared = planned.get(id(subscription))
             if shared is not None:
                 subscription.algorithm.process_shared_slide(shared)
             else:
                 subscription.algorithm.process_slide(event)
-        return time.perf_counter() - started
 
     def describe(self) -> Dict[str, object]:
         """Introspection record shown by ``StreamEngine.groups()``."""

@@ -1,9 +1,14 @@
-"""Execution engine, metrics collection, and algorithm comparison."""
+"""Legacy one-shot helpers: run one algorithm, compare several.
+
+These are thin wrappers over :class:`repro.StreamEngine`.  Multi-query
+workloads subscribe directly on the engine (or on
+:class:`repro.cluster.ShardedStreamEngine` for multi-process execution);
+the old ``MultiQueryEngine`` wrapper has been removed.
+"""
 
 from .engine import RunReport, run_algorithm
 from .metrics import MetricsCollector, bytes_to_kb
 from .comparison import AlgorithmComparison, compare_algorithms
-from .multiquery import MultiQueryEngine
 
 __all__ = [
     "RunReport",
@@ -12,5 +17,4 @@ __all__ = [
     "bytes_to_kb",
     "AlgorithmComparison",
     "compare_algorithms",
-    "MultiQueryEngine",
 ]

@@ -288,6 +288,35 @@ class AVLTree:
         return result
 
     # ------------------------------------------------------------------
+    # Serialization (the cluster's state layer pickles trees across
+    # process boundaries)
+    # ------------------------------------------------------------------
+    # The wire form is the sorted item list, not the node graph: it is
+    # independent of the incidental tree topology (two trees holding the
+    # same mapping serialize identically), far more compact than pickling
+    # linked ``_Node`` objects, and rebuilding produces a perfectly
+    # balanced tree.
+    def __getstate__(self) -> List[Tuple[Any, Any]]:
+        return list(self.items())
+
+    def __setstate__(self, items: List[Tuple[Any, Any]]) -> None:
+        self._root = self._build_balanced(items, 0, len(items))
+
+    @staticmethod
+    def _build_balanced(
+        items: List[Tuple[Any, Any]], low: int, high: int
+    ) -> Optional[_Node]:
+        """Perfectly balanced subtree over ``items[low:high]`` (sorted)."""
+        if low >= high:
+            return None
+        mid = (low + high) // 2
+        node = _Node(*items[mid])
+        node.left = AVLTree._build_balanced(items, low, mid)
+        node.right = AVLTree._build_balanced(items, mid, high)
+        _update(node)
+        return node
+
+    # ------------------------------------------------------------------
     # Invariant checking (used by the test-suite)
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:

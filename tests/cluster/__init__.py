@@ -1,0 +1,1 @@
+"""Tests of the sharded execution plane (repro.cluster)."""

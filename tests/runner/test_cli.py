@@ -102,3 +102,57 @@ class TestCommands:
         assert args.k == [5, 10, 20, 50]
         assert args.algorithm == "SAP"
         assert not args.baseline
+
+
+class TestShardCommand:
+    def test_shard_parser_defaults(self):
+        args = build_parser().parse_args(["shard"])
+        assert args.command == "shard"
+        assert args.shards == 4
+        assert args.queries == 8
+        assert args.placement == "least-loaded"
+        assert not args.baseline
+
+    def test_shard_command_runs_small_cluster(self, capsys):
+        exit_code = main(
+            ["shard", "--dataset", "STOCK", "--objects", "800", "--n", "100",
+             "--s", "20", "--k", "3", "6", "--shards", "2", "--queries", "4",
+             "--baseline"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "4 queries on 2 shards" in captured
+        assert "shard 0" in captured and "shard 1" in captured
+        assert "merged from" in captured
+        assert "speedup from 2 shards" in captured
+
+    def test_shard_command_least_loaded_placement(self, capsys):
+        exit_code = main(
+            ["shard", "--dataset", "TIMEU", "--objects", "400", "--n", "50",
+             "--s", "10", "--k", "3", "--shards", "2", "--queries", "2",
+             "--placement", "least-loaded"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "least-loaded placement" in captured
+
+
+class TestGeneratedDocstring:
+    def test_docstring_lists_every_registered_command(self):
+        import repro.cli as cli
+
+        doc = cli.__doc__
+        assert f"{len(cli.COMMANDS)} subcommands are provided" in doc
+        for command in cli.COMMANDS:
+            assert f"``{command.name}``" in doc
+
+    def test_docstring_matches_parser_surface(self):
+        import repro.cli as cli
+
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, __import__("argparse")._SubParsersAction)
+        )
+        assert sorted(subparsers.choices) == sorted(c.name for c in cli.COMMANDS)
