@@ -78,7 +78,7 @@ from .engine import EngineCore, QueryGroup, QuerySpec, StreamEngine, Subscriptio
 from .cluster import ShardedStreamEngine, ShardSubscription
 from .runner import RunReport, compare_algorithms, run_algorithm
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -8,6 +8,7 @@ actually provides — adding a command automatically documents it here.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import textwrap
 import time
@@ -22,7 +23,21 @@ from .engine import StreamEngine
 from .registry import algorithm_factories, create_algorithm, get_algorithm
 from .runner.comparison import compare_algorithms
 from .runner.engine import run_algorithm
+from .serve import SLOW_CLIENT_POLICIES, ServeConfig, TopKServer
 from .streams import dataset_names, make_dataset
+
+
+def package_version() -> str:
+    """The installed distribution's version, falling back to the source
+    tree's ``repro.__version__`` when the package is not installed."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-sap-topk")
+    except Exception:
+        from . import __version__
+
+        return __version__
 
 AlgorithmFactory = Callable[[TopKQuery], ContinuousTopKAlgorithm]
 
@@ -437,6 +452,88 @@ def _command_shard(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def _configure_serve(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    sub.add_argument(
+        "--port", type=int, default=8765, help="TCP port (0 picks an ephemeral one)"
+    )
+    sub.add_argument(
+        "--engine",
+        default="local",
+        choices=("local", "sharded"),
+        help="execution plane behind the service: one in-process engine, "
+        "or the sharded multi-process plane",
+    )
+    sub.add_argument(
+        "--shards", type=int, default=2, help="worker processes (sharded engine only)"
+    )
+    sub.add_argument(
+        "--max-subscriptions",
+        type=int,
+        default=1024,
+        help="admission-control cap; creation past it gets 429 + Retry-After",
+    )
+    sub.add_argument(
+        "--client-queue",
+        type=int,
+        default=256,
+        help="per-client result queue bound (backpressure)",
+    )
+    sub.add_argument(
+        "--slow-client",
+        default="drop-oldest",
+        choices=SLOW_CLIENT_POLICIES,
+        help="what a full client queue means: drop the oldest queued "
+        "answer (counted in stats) or disconnect the client",
+    )
+    sub.add_argument(
+        "--dedupe-window",
+        type=int,
+        default=65_536,
+        help="idempotency window: distinct event ids remembered for dedupe",
+    )
+    sub.add_argument(
+        "--linger-ms",
+        type=int,
+        default=50,
+        help="max time a partial (unaligned) ingest tail waits before "
+        "being pushed anyway",
+    )
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        engine=args.engine,
+        shards=args.shards,
+        max_subscriptions=args.max_subscriptions,
+        client_queue=args.client_queue,
+        slow_client=args.slow_client,
+        dedupe_window=args.dedupe_window,
+        linger_ms=args.linger_ms,
+    )
+
+    async def main() -> None:
+        server = TopKServer(config)
+        await server.start()
+        print(f"serving   : http://{config.host}:{server.port} ({config.engine} engine)")
+        print("api       : POST /subscriptions | POST /events | "
+              "GET /subscriptions/<name>/stream (SSE) | .../ws (WebSocket)")
+        print("shutdown  : SIGINT/SIGTERM drain in-flight slides and close the engine")
+        await server.serve_forever()
+        totals = server.describe()
+        print(f"drained   : {totals['ingest']['ingested']} events ingested, "
+              f"{totals['sessions']['results_pushed']} answers pushed, "
+              f"{totals['sessions']['results_dropped']} dropped to slow clients")
+
+    asyncio.run(main())
+    return 0
+
+
+# ----------------------------------------------------------------------
 # The command registry: the single source of truth of the CLI surface.
 # ----------------------------------------------------------------------
 COMMANDS: List[CliCommand] = [
@@ -489,6 +586,19 @@ COMMANDS: List[CliCommand] = [
         configure=_configure_shard,
         run=_command_shard,
     ),
+    CliCommand(
+        name="serve",
+        help="run the network serving layer over a live engine",
+        doc="Run the serving layer (:mod:`repro.serve`): an asyncio HTTP "
+        "facade exposing subscription management, idempotent event "
+        "ingestion (at-least-once producers get exactly-once engine "
+        "semantics via an event-id dedupe window), per-client result push "
+        "over SSE/WebSocket with bounded queues, and admission control.  "
+        "Runs until SIGINT/SIGTERM, then drains in-flight slides and "
+        "closes the engine.",
+        configure=_configure_serve,
+        run=_command_serve,
+    ),
 ]
 
 
@@ -496,6 +606,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Continuous top-k queries over streaming data (SAP reproduction)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
+        help="print the installed package version and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for command in COMMANDS:
@@ -525,6 +641,10 @@ def _command_reference() -> str:
         lines.append("")
     lines.extend(
         [
+            "``--version``",
+            "    Print the installed package version (from the distribution",
+            "    metadata, falling back to ``repro.__version__``) and exit.",
+            "",
             "Examples::",
             "",
             "    python -m repro run --dataset STOCK --n 1000 --k 10 --s 50",
@@ -533,6 +653,8 @@ def _command_reference() -> str:
             "    python -m repro multi --dataset STOCK --n 1000 --s 50 --k 5 10 20 50",
             "    python -m repro control --dataset DRIFT --objects 12000 --json",
             "    python -m repro shard --shards 4 --queries 8 --baseline",
+            "    python -m repro serve --port 8765 --max-subscriptions 1000",
+            "    python -m repro --version",
         ]
     )
     return "\n".join(lines)

@@ -41,7 +41,7 @@ lambdas).
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..core.exceptions import AlgorithmStateError
 from ..core.object import StreamObject
@@ -425,6 +425,16 @@ class ShardedStreamEngine:
         for a cluster-wide drain."""
         return self.subscription(name).results()
 
+    def drain_results(self) -> Dict[str, List[TopKResult]]:
+        """Fetch-and-discard every subscription's retained answers in one
+        cluster-wide broadcast (the multi-process analogue of
+        :meth:`repro.engine.core.EngineCore.drain_results`).  Queue
+        ordering drains each shard's pending pushes first, so the answers
+        cover everything dispatched before this call."""
+        self._ensure_open()
+        merged = merge_disjoint(self._router.broadcast(("drain",)))
+        return {name: merged[name] for name in self._handles if name in merged}
+
     def stats(self) -> Dict[str, Dict[str, float]]:
         """Per-subscription statistics, merged across shards."""
         self._ensure_open()
@@ -497,7 +507,10 @@ class ShardedStreamEngine:
         Shutdown is best-effort: a shard that already failed (its error
         was observable on every earlier synchronous call) cannot block the
         rest of the cluster from stopping, so its final flush is skipped
-        rather than raised here.
+        rather than raised here — the worker still closes its engine
+        before replying, so a latched failure leaks nothing.  Repeated
+        ``close()`` (e.g. an explicit call followed by ``__exit__``, or a
+        retry after a worker failure surfaced) stays a safe no-op.
         """
         if self._closed:
             return {}
@@ -507,7 +520,10 @@ class ShardedStreamEngine:
             for shard_id in self._router.shard_ids():
                 try:
                     produced.update(self._router.request(shard_id, ("close",)))
-                except ShardError:
+                except Exception:
+                    # ShardError (latched failure / dead worker) or any
+                    # transport problem: shutdown must not raise half-way,
+                    # the remaining shards still need their close.
                     continue
             return {name: produced[name] for name in self._handles if name in produced}
         finally:

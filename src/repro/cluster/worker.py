@@ -32,6 +32,7 @@ SYNC_OPS = frozenset(
         "flush",
         "sync",
         "results",
+        "drain",
         "latest",
         "stats",
         "stats_one",
@@ -75,6 +76,13 @@ def shard_worker_main(shard_id: int, commands, replies) -> None:
         message = commands.get()
         op = message[0]
         if op == "stop":
+            # Reap the engine on the way out so a worker stopped without a
+            # prior "close" (e.g. best-effort facade shutdown after a
+            # failure) still releases its subscriptions.
+            try:
+                engine.close()
+            except BaseException:
+                pass
             break
         if op == "push":
             if failure is not None:
@@ -96,6 +104,16 @@ def shard_worker_main(shard_id: int, commands, replies) -> None:
             replies.put(("err", f"unknown opcode {op!r}"))
             continue
         if failure is not None:
+            # The shard is latched broken: every synchronous opcode keeps
+            # reporting the original failure.  "close" is special-cased so
+            # shutdown still reaps the engine — the facade ignores the
+            # error reply on its best-effort close path, and a repeated
+            # close must stay a safe no-op rather than leak the engine.
+            if op == "close":
+                try:
+                    engine.close()
+                except BaseException:
+                    pass
             replies.put(("err", f"shard {shard_id} failed during push:\n{failure}"))
             continue
         try:
@@ -123,6 +141,8 @@ def shard_worker_main(shard_id: int, commands, replies) -> None:
                 payload = (
                     list(subscription.drain()) if drain else subscription.results()
                 )
+            elif op == "drain":
+                payload = engine.drain_results()
             elif op == "latest":
                 payload = engine.subscription(message[1]).latest()
             elif op == "stats":

@@ -337,6 +337,22 @@ class EngineCore:
         """Retained answers of one query (see ``keep_results``)."""
         return self.subscription(name).results()
 
+    def drain_results(self) -> Dict[str, List[TopKResult]]:
+        """Fetch *and discard* every subscription's retained answers.
+
+        One call covers the whole engine: the serving layer
+        (:mod:`repro.serve`) uses it to collect everything a just-pushed
+        batch produced without a per-subscription round-trip.  Names with
+        no new answers are omitted.  Reading is allowed on a closed
+        engine (the final answers stay collectible after ``close``).
+        """
+        produced: Dict[str, List[TopKResult]] = {}
+        for name, subscription in self._subscriptions.items():
+            drained = list(subscription.drain())
+            if drained:
+                produced[name] = drained
+        return produced
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Point-in-time state of every subscription, keyed by name."""
         return {name: sub.snapshot() for name, sub in self._subscriptions.items()}

@@ -1,0 +1,679 @@
+"""The serving application: an asyncio facade over a live engine.
+
+:class:`TopKServer` turns a :class:`~repro.engine.StreamEngine` (or a
+:class:`~repro.cluster.ShardedStreamEngine`) into a long-running network
+service — the ``repro serve`` CLI command is a thin wrapper around it.
+The HTTP surface:
+
+==========================================  ===================================
+``GET  /health``                            liveness probe
+``GET  /stats``                             server-wide ingest/session stats
+``POST /subscriptions``                     create a continuous query (429 +
+                                            ``Retry-After`` past the cap)
+``GET  /subscriptions``                     list subscription records
+``GET  /subscriptions/<name>``              record + engine stats (p50/p95/p99)
+``DELETE /subscriptions/<name>``            unsubscribe
+``GET  /subscriptions/<name>/results``      poll retained answers (``?drain=true``)
+``GET  /subscriptions/<name>/stream``       push answers over SSE
+``GET  /subscriptions/<name>/ws``           push answers over WebSocket
+``POST /events``                            ingest events (idempotent by id)
+==========================================  ===================================
+
+Threading model: the event loop owns every data structure in this module;
+the engine — which is synchronous, CPU-bound, and not thread-safe — lives
+behind a **single-worker executor thread**, and every engine touch goes
+through :meth:`TopKServer._engine_call`.  One executor job both pushes a
+batch and drains the answers it produced, so the engine is never observed
+mid-batch.  Ingestion dedupes producer retries through a bounded LRU
+window (:mod:`repro.serve.ingest`), batches admitted events to the slide
+alignment of the live queries, and fans drained answers out to bounded
+per-client channels (:mod:`repro.serve.backpressure`) — a slow consumer
+costs itself dropped answers (or its connection), never engine
+throughput.
+
+Shutdown is graceful on SIGINT/SIGTERM: the listener closes, the pending
+ingest tail is pushed (draining in-flight slides), final answers are
+delivered, every client stream receives an ``end`` event, and the engine
+is closed on its own thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from ..core.exceptions import InvalidQueryError, ReproError
+from ..core.query import TopKQuery
+from ..registry import algorithm_names
+from .backpressure import (
+    DEFAULT_CLIENT_QUEUE,
+    DROP_OLDEST,
+    SLOW_CLIENT_POLICIES,
+    AdmissionControl,
+    AdmissionError,
+    ChannelClosed,
+    ClientChannel,
+)
+from .ingest import DEFAULT_DEDUPE_WINDOW, DedupeWindow, IngestBatcher, parse_event
+from .protocol import (
+    SSE_HEADER,
+    WS_CLOSE,
+    WS_PING,
+    WS_PONG,
+    HttpRequest,
+    ProtocolError,
+    encode_websocket_frame,
+    error_response,
+    is_websocket_upgrade,
+    read_request,
+    read_websocket_frame,
+    render_response,
+    sse_comment,
+    sse_event,
+    websocket_handshake_response,
+)
+from .sessions import Session, SessionRegistry
+
+__all__ = ["ServeConfig", "TopKServer", "ServerHandle", "run_in_thread"]
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of the serving layer (all have working defaults)."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (read it back from ``.port``).
+    port: int = 8765
+    #: Execution plane: ``"local"`` (one in-process engine) or
+    #: ``"sharded"`` (a multi-process :class:`ShardedStreamEngine`).
+    engine: str = "local"
+    shards: int = 2
+    #: Admission control: new subscriptions past this cap get 429.
+    max_subscriptions: int = 1024
+    retry_after: int = 5
+    #: Per-client result queue bound and the slow-client policy.
+    client_queue: int = DEFAULT_CLIENT_QUEUE
+    slow_client: str = DROP_OLDEST
+    #: Idempotency window: distinct event ids remembered for dedupe.
+    dedupe_window: int = DEFAULT_DEDUPE_WINDOW
+    #: How long a partial (unaligned) ingest tail may linger before it is
+    #: flushed to the engine anyway.
+    linger_ms: int = 50
+    #: Per-subscription answer history retained for the polling endpoint.
+    result_history: int = 1024
+    default_algorithm: str = "SAP"
+
+    def validate(self) -> "ServeConfig":
+        if self.engine not in ("local", "sharded"):
+            raise ValueError(f"engine must be 'local' or 'sharded', got {self.engine!r}")
+        if self.slow_client not in SLOW_CLIENT_POLICIES:
+            raise ValueError(
+                f"slow_client must be one of {SLOW_CLIENT_POLICIES}, "
+                f"got {self.slow_client!r}"
+            )
+        for field_name in ("shards", "max_subscriptions", "client_queue",
+                           "dedupe_window", "result_history"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be positive")
+        if self.linger_ms < 0:
+            raise ValueError("linger_ms must be >= 0")
+        return self
+
+
+def _default_engine_factory(config: ServeConfig):
+    if config.engine == "sharded":
+        from ..cluster import ShardedStreamEngine
+
+        return ShardedStreamEngine(config.shards, keep_results=True)
+    from ..engine import StreamEngine
+
+    return StreamEngine(keep_results=True, return_results=True)
+
+
+class TopKServer:
+    """Asyncio subscription service over one live engine.
+
+    Construct, ``await start()``, then either ``await serve_forever()``
+    (installs signal handlers) or drive :meth:`request_shutdown` /
+    :meth:`shutdown` yourself.  ``engine_factory`` overrides how the
+    engine is built (it is called on the engine thread).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        engine_factory: Optional[Callable[[ServeConfig], object]] = None,
+    ) -> None:
+        self.config = (config or ServeConfig()).validate()
+        self._engine_factory = engine_factory or _default_engine_factory
+        self._engine = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-engine"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.registry = SessionRegistry()
+        self.admission = AdmissionControl(
+            self.config.max_subscriptions, self.config.retry_after
+        )
+        self.dedupe = DedupeWindow(self.config.dedupe_window)
+        self.batcher = IngestBatcher()
+        self._flush_lock = asyncio.Lock()
+        self._linger_handle: Optional[asyncio.TimerHandle] = None
+        self._client_tasks: Set[asyncio.Task] = set()
+        self._shutdown_requested = asyncio.Event()
+        self._shutdown_finished = False
+        self._started_at = time.time()
+        self.dropped_no_subscribers = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` to the real one)."""
+        if self._server is None:
+            raise RuntimeError("the server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "TopKServer":
+        self._loop = asyncio.get_running_loop()
+        self._engine = await self._engine_call(self._engine_factory, self.config)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._started_at = time.time()
+        return self
+
+    def request_shutdown(self) -> None:
+        """Signal-safe trigger: ask the serve loop to shut down."""
+        self._shutdown_requested.set()
+
+    async def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Serve until SIGINT/SIGTERM (or :meth:`request_shutdown`), then
+        shut down gracefully."""
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-main thread or unsupported platform
+        await self._shutdown_requested.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: close the listener, drain in-flight slides,
+        deliver the final answers, end every client stream, close the
+        engine.  Idempotent."""
+        if self._shutdown_finished:
+            return
+        self._shutdown_finished = True
+        self._shutdown_requested.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._linger_handle is not None:
+            self._linger_handle.cancel()
+            self._linger_handle = None
+        async with self._flush_lock:
+            tail = self.batcher.take_all()
+            produced = await self._engine_call(self._drain_and_close, tail)
+            self.registry.dispatch(produced)
+        self.registry.close_all("server-shutdown")
+        if self._client_tasks:
+            await asyncio.wait(tuple(self._client_tasks), timeout=5.0)
+        self._executor.shutdown(wait=True)
+
+    def _drain_and_close(self, tail) -> Dict[str, List]:
+        """Final engine job: push the ingest tail, drain every answer,
+        close the engine, and merge the close-time flush answers in."""
+        produced: Dict[str, List] = {}
+        if self._engine is None:
+            return produced
+        try:
+            if tail and len(self.registry):
+                self._engine.push_many(tail, chunk_size=max(1, len(tail)))
+            produced = self._engine.drain_results()
+            for name, results in self._engine.close().items():
+                produced.setdefault(name, []).extend(results)
+        except ReproError:
+            # A shard that failed earlier must not block shutdown; its
+            # error was already observable on the ingest path.
+            try:
+                self._engine.close()
+            except ReproError:
+                pass
+        return produced
+
+    # ------------------------------------------------------------------
+    # Engine access (everything engine-touching runs on one thread)
+    # ------------------------------------------------------------------
+    async def _engine_call(self, fn, *args):
+        assert self._loop is not None
+        return await self._loop.run_in_executor(self._executor, fn, *args)
+
+    def _subscribe_engine(self, name: str, query: TopKQuery, algorithm: str):
+        return self._engine.subscribe(name, query, algorithm=algorithm)
+
+    def _push_and_drain(self, batch) -> Dict[str, List]:
+        """One executor job: ingest a batch and collect its answers."""
+        if batch:
+            self._engine.push_many(batch, chunk_size=max(1, len(batch)))
+        return self._engine.drain_results()
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    async def create_subscription(self, body: Dict) -> Session:
+        if not isinstance(body, dict):
+            raise ProtocolError(400, "the subscription body must be a JSON object")
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError(400, "a subscription requires a non-empty 'name'")
+        if name in self.registry:
+            raise ProtocolError(409, f"subscription {name!r} already exists")
+        algorithm = body.get("algorithm", self.config.default_algorithm)
+        if algorithm not in algorithm_names():
+            raise ProtocolError(
+                400, f"unknown algorithm {algorithm!r}; have {algorithm_names()}"
+            )
+        try:
+            query = TopKQuery(
+                n=int(body["n"]),
+                k=int(body["k"]),
+                s=int(body.get("s", 1)),
+                time_based=bool(body.get("time_based", False)),
+            )
+        except KeyError as exc:
+            raise ProtocolError(400, f"missing query parameter {exc.args[0]!r}") from None
+        except (InvalidQueryError, TypeError, ValueError) as exc:
+            raise ProtocolError(400, f"invalid query: {exc}") from None
+
+        self.admission.admit()  # raises AdmissionError -> 429
+        try:
+            handle = await self._engine_call(
+                self._subscribe_engine, name, query, algorithm
+            )
+        except BaseException:
+            self.admission.release()
+            raise
+        session = Session(
+            name, query, algorithm, handle, history=self.config.result_history
+        )
+        self.registry.add(session)
+        self.batcher.set_alignment(self.registry.slide_sizes())
+        return session
+
+    async def remove_subscription(self, name: str) -> None:
+        session = self.registry.remove(name)
+        if session is None:
+            raise ProtocolError(404, f"no subscription named {name!r}")
+        session.close("unsubscribed")
+        self.admission.release()
+        self.batcher.set_alignment(self.registry.slide_sizes())
+        if not len(self.registry):
+            # The last subscriber left: buffered events can never reach an
+            # answer (new subscriptions only window future arrivals), so
+            # drop them under the same rule as subscriber-less ingestion.
+            self.dropped_no_subscribers += len(self.batcher.take_all())
+        await self._engine_call(self._engine.unsubscribe, name)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    async def ingest(self, events: List[object]) -> Dict[str, int]:
+        """Dedupe, batch, and (when a whole slide multiple is pending)
+        push a batch through the engine, delivering the answers."""
+        accepted = duplicates = 0
+        for raw in events:
+            event_id, score, payload = parse_event(raw)  # ValueError -> 400
+            if event_id is not None and not self.dedupe.admit(event_id):
+                duplicates += 1
+                continue
+            self.batcher.append(score, payload)
+            accepted += 1
+        if not len(self.registry):
+            # Nobody is subscribed: the events cannot contribute to any
+            # answer, so drop them (counted) instead of buffering forever.
+            self.dropped_no_subscribers += len(self.batcher.take_all())
+        elif len(self.batcher) >= self.batcher.alignment:
+            await self._flush(aligned=True)
+            if len(self.batcher):
+                # The flush kept an unaligned tail; make sure it cannot
+                # sit forever waiting for the next ingest call.
+                self._arm_linger()
+        elif len(self.batcher):
+            self._arm_linger()
+        return {
+            "accepted": accepted,
+            "duplicates": duplicates,
+            "pending": len(self.batcher),
+        }
+
+    async def _flush(self, aligned: bool) -> None:
+        async with self._flush_lock:
+            batch = self.batcher.take_aligned() if aligned else self.batcher.take_all()
+            if not batch or not len(self.registry):
+                return
+            produced = await self._engine_call(self._push_and_drain, batch)
+            self.registry.dispatch(produced)
+
+    def _arm_linger(self) -> None:
+        """(Re)start the linger timer that flushes a partial tail."""
+        if self._linger_handle is not None or self._shutdown_finished:
+            return
+
+        def fire() -> None:
+            self._linger_handle = None
+            if len(self.batcher):
+                asyncio.ensure_future(self._flush(aligned=False))
+
+        assert self._loop is not None
+        self._linger_handle = self._loop.call_later(
+            self.config.linger_ms / 1000.0, fire
+        )
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+            task.add_done_callback(self._client_tasks.discard)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    writer.write(error_response(exc.status, exc.message, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                streaming = await self._dispatch(request, reader, writer)
+                if streaming or not request.wants_keep_alive():
+                    break
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest, reader, writer) -> bool:
+        """Route one request; returns True when the handler took over the
+        connection (SSE/WebSocket)."""
+        try:
+            return await self._route(request, reader, writer)
+        except ProtocolError as exc:
+            writer.write(error_response(exc.status, exc.message))
+        except AdmissionError as exc:
+            writer.write(
+                error_response(
+                    429, str(exc), headers={"Retry-After": str(exc.retry_after)}
+                )
+            )
+        except ValueError as exc:
+            writer.write(error_response(400, str(exc)))
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            writer.write(error_response(500, f"{type(exc).__name__}: {exc}"))
+        await writer.drain()
+        return False
+
+    async def _route(self, request: HttpRequest, reader, writer) -> bool:
+        segments = request.segments
+        method = request.method
+
+        if segments == ("health",) and method == "GET":
+            self._reply(writer, 200, {"status": "ok", "uptime_s": self._uptime()})
+        elif segments == ("stats",) and method == "GET":
+            self._reply(writer, 200, self.describe())
+        elif segments == ("events",) and method == "POST":
+            body = request.json()
+            if isinstance(body, dict) and "events" in body:
+                events = body["events"]
+            elif isinstance(body, dict):
+                events = [body]
+            else:
+                events = body
+            if not isinstance(events, list):
+                raise ProtocolError(400, "'events' must be a JSON array")
+            self._reply(writer, 200, await self.ingest(events))
+        elif segments == ("subscriptions",) and method == "POST":
+            session = await self.create_subscription(request.json())
+            self._reply(writer, 201, session.describe())
+        elif segments == ("subscriptions",) and method == "GET":
+            self._reply(
+                writer,
+                200,
+                {"subscriptions": [s.describe() for s in self.registry.sessions()]},
+            )
+        elif len(segments) == 2 and segments[0] == "subscriptions":
+            name = segments[1]
+            if method == "GET":
+                session = self._session(name)
+                self._reply(writer, 200, await self._engine_call(session.stats))
+            elif method == "DELETE":
+                await self.remove_subscription(name)
+                self._reply(writer, 204, None)
+            else:
+                raise ProtocolError(405, f"{method} not allowed here")
+        elif len(segments) == 3 and segments[0] == "subscriptions":
+            name, tail = segments[1], segments[2]
+            session = self._session(name)
+            if tail == "results" and method == "GET":
+                drain = request.query.get("drain", "").lower() in ("1", "true", "yes")
+                self._reply(writer, 200, {"results": session.read_history(drain)})
+            elif tail == "stream" and method == "GET":
+                await self._serve_sse(session, reader, writer)
+                return True
+            elif tail == "ws" and method == "GET":
+                if not is_websocket_upgrade(request):
+                    raise ProtocolError(400, "expected a WebSocket upgrade request")
+                await self._serve_websocket(session, request, reader, writer)
+                return True
+            else:
+                raise ProtocolError(404, f"no route for {request.path}")
+        else:
+            raise ProtocolError(404, f"no route for {request.path}")
+        await writer.drain()
+        return False
+
+    def _session(self, name: str) -> Session:
+        session = self.registry.get(name)
+        if session is None:
+            raise ProtocolError(404, f"no subscription named {name!r}")
+        return session
+
+    @staticmethod
+    def _reply(writer, status: int, payload) -> None:
+        writer.write(render_response(status, payload))
+
+    def _uptime(self) -> float:
+        return round(time.time() - self._started_at, 3)
+
+    def describe(self) -> Dict[str, object]:
+        """The ``/stats`` payload: every layer's counters in one place."""
+        return {
+            "engine": self.config.engine,
+            "uptime_s": self._uptime(),
+            "ingest": {
+                **self.batcher.stats(),
+                "dedupe": self.dedupe.stats(),
+                "dropped_no_subscribers": self.dropped_no_subscribers,
+            },
+            "admission": self.admission.stats(),
+            "sessions": self.registry.totals(),
+        }
+
+    # ------------------------------------------------------------------
+    # Streaming endpoints
+    # ------------------------------------------------------------------
+    def _open_channel(self, session: Session) -> ClientChannel:
+        return session.attach(
+            ClientChannel(self.config.client_queue, self.config.slow_client)
+        )
+
+    async def _serve_sse(self, session: Session, reader, writer) -> None:
+        channel = self._open_channel(session)
+        writer.write(SSE_HEADER)
+        writer.write(sse_comment(f"subscribed {session.name}"))
+        monitor = asyncio.ensure_future(self._watch_disconnect(reader, channel))
+        try:
+            await writer.drain()
+            while True:
+                try:
+                    record = await channel.get()
+                except ChannelClosed as exc:
+                    writer.write(sse_event({"reason": str(exc)}, event="end"))
+                    await writer.drain()
+                    break
+                writer.write(sse_event(record, event="result"))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-write
+        finally:
+            monitor.cancel()
+            session.detach(channel)
+            channel.close("client-disconnect")
+
+    async def _serve_websocket(
+        self, session: Session, request: HttpRequest, reader, writer
+    ) -> None:
+        channel = self._open_channel(session)
+        writer.write(websocket_handshake_response(request))
+        monitor = asyncio.ensure_future(self._watch_ws_frames(reader, writer, channel))
+        try:
+            await writer.drain()
+            while True:
+                try:
+                    record = await channel.get()
+                except ChannelClosed as exc:
+                    payload = json.dumps({"event": "end", "reason": str(exc)}).encode()
+                    writer.write(encode_websocket_frame(payload))
+                    writer.write(encode_websocket_frame(b"", opcode=WS_CLOSE))
+                    await writer.drain()
+                    break
+                writer.write(encode_websocket_frame(json.dumps(record).encode()))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            monitor.cancel()
+            session.detach(channel)
+            channel.close("client-disconnect")
+
+    @staticmethod
+    async def _watch_disconnect(reader, channel: ClientChannel) -> None:
+        """Close the channel when the SSE client hangs up (EOF on read)."""
+        try:
+            while True:
+                data = await reader.read(4096)
+                if not data:
+                    break
+        except (ConnectionError, OSError):
+            pass
+        channel.close("client-disconnect")
+
+    @staticmethod
+    async def _watch_ws_frames(reader, writer, channel: ClientChannel) -> None:
+        """Answer pings and notice the client's close frame."""
+        try:
+            while True:
+                frame = await read_websocket_frame(reader)
+                if frame is None or frame[0] == WS_CLOSE:
+                    break
+                if frame[0] == WS_PING:
+                    writer.write(encode_websocket_frame(frame[1], opcode=WS_PONG))
+                    await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        channel.close("client-disconnect")
+
+
+# ----------------------------------------------------------------------
+# Embedding helper: run a server on a background thread
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """A server running on its own thread (tests, examples, benchmarks)."""
+
+    def __init__(self, server: TopKServer, loop, thread: threading.Thread, port: int):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self.port = port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.server.config.host}:{self.port}"
+
+    @property
+    def loop(self):
+        """The server's event loop — for scheduling work onto the server
+        thread with :func:`asyncio.run_coroutine_threadsafe`."""
+        return self._loop
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request a graceful shutdown and join the server thread."""
+        try:
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        except RuntimeError:
+            pass  # loop already gone
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def run_in_thread(
+    config: Optional[ServeConfig] = None,
+    engine_factory: Optional[Callable[[ServeConfig], object]] = None,
+    start_timeout: float = 15.0,
+) -> ServerHandle:
+    """Start a :class:`TopKServer` on a daemon thread and return a handle.
+
+    The caller's thread talks to it over plain HTTP; ``handle.stop()``
+    performs the same graceful shutdown a SIGTERM would.
+    """
+    started = threading.Event()
+    holder: Dict[str, object] = {}
+
+    def runner() -> None:
+        async def main() -> None:
+            server = TopKServer(config, engine_factory)
+            try:
+                await server.start()
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                holder["error"] = exc
+                started.set()
+                return
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            holder["port"] = server.port
+            started.set()
+            await server.serve_forever(install_signal_handlers=False)
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(start_timeout):
+        raise RuntimeError("the server did not start in time")
+    if "error" in holder:
+        raise holder["error"]  # type: ignore[misc]
+    return ServerHandle(
+        holder["server"], holder["loop"], thread, holder["port"]  # type: ignore[arg-type]
+    )

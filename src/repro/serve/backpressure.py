@@ -1,0 +1,167 @@
+"""Admission control and slow-client backpressure for the serving layer.
+
+Two independent valves keep a long-running service bounded:
+
+* **Admission control** caps how many subscriptions the engine carries.
+  Past the cap, creation requests are refused with ``429`` and a
+  ``Retry-After`` hint instead of degrading everyone already admitted —
+  the same reject-at-the-door shape the sharded router uses for its
+  bounded command queues.
+* **Client channels** bound the results queued for each connected
+  streaming client.  The engine never waits for the network: when a slow
+  consumer falls behind, its channel applies a policy — ``drop-oldest``
+  (default; newest answers win, drops are counted and reported in stats)
+  or ``disconnect`` (the channel closes and the client must reconnect,
+  which is the honest choice when losing answers is worse than losing
+  the connection).  Either way the engine's throughput is independent of
+  the slowest subscriber.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, Optional
+
+#: Slow-client policies of :class:`ClientChannel`.
+DROP_OLDEST = "drop-oldest"
+DISCONNECT = "disconnect"
+SLOW_CLIENT_POLICIES = (DROP_OLDEST, DISCONNECT)
+
+#: Default per-client queue bound (delivered results awaiting the socket).
+DEFAULT_CLIENT_QUEUE = 256
+
+
+class AdmissionError(Exception):
+    """The subscription cap is reached; carries the Retry-After hint."""
+
+    def __init__(self, limit: int, retry_after: int) -> None:
+        super().__init__(
+            f"subscription limit {limit} reached; retry after {retry_after}s"
+        )
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class AdmissionControl:
+    """Counts live subscriptions against a hard cap."""
+
+    def __init__(self, max_subscriptions: int, retry_after: int = 5) -> None:
+        if max_subscriptions < 1:
+            raise ValueError(
+                f"max_subscriptions must be positive, got {max_subscriptions}"
+            )
+        self.max_subscriptions = max_subscriptions
+        self.retry_after = retry_after
+        self.active = 0
+        self.rejected = 0
+
+    def admit(self) -> None:
+        """Claim a slot or raise :class:`AdmissionError` (counted)."""
+        if self.active >= self.max_subscriptions:
+            self.rejected += 1
+            raise AdmissionError(self.max_subscriptions, self.retry_after)
+        self.active += 1
+
+    def release(self) -> None:
+        self.active = max(0, self.active - 1)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "max_subscriptions": self.max_subscriptions,
+            "active": self.active,
+            "rejected": self.rejected,
+        }
+
+
+class ChannelClosed(Exception):
+    """Raised to a reader whose channel was closed under it."""
+
+
+class ClientChannel:
+    """Bounded, single-reader result queue between engine and one client.
+
+    The producer side (:meth:`offer`) is synchronous and never blocks —
+    it runs on the event loop right after an engine drain.  The consumer
+    side (:meth:`get`) is a coroutine the client's writer task awaits.
+    ``maxlen`` bounds the queue; the policy decides what an overflow
+    means.
+    """
+
+    def __init__(
+        self, maxlen: int = DEFAULT_CLIENT_QUEUE, policy: str = DROP_OLDEST
+    ) -> None:
+        if maxlen < 1:
+            raise ValueError(f"channel maxlen must be positive, got {maxlen}")
+        if policy not in SLOW_CLIENT_POLICIES:
+            raise ValueError(
+                f"unknown slow-client policy {policy!r}; "
+                f"choose from {SLOW_CLIENT_POLICIES}"
+            )
+        self.maxlen = maxlen
+        self.policy = policy
+        self._items: Deque[object] = deque()
+        self._ready = asyncio.Event()
+        self.delivered = 0
+        self.dropped = 0
+        self.closed = False
+        #: Why the channel closed ("server-shutdown", "slow-client", ...);
+        #: surfaced to the client as the final stream event.
+        self.close_reason: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, item: object) -> bool:
+        """Enqueue one result; returns False when the channel is closed.
+
+        On overflow, ``drop-oldest`` evicts the head (counted) and
+        ``disconnect`` closes the channel — the pending items stay
+        readable so the client sees everything produced before the
+        overflow, then the closing event.
+        """
+        if self.closed:
+            return False
+        if len(self._items) >= self.maxlen:
+            if self.policy == DROP_OLDEST:
+                self._items.popleft()
+                self.dropped += 1
+            else:
+                self.dropped += 1
+                self.close("slow-client")
+                return False
+        self._items.append(item)
+        self.delivered += 1
+        self._ready.set()
+        return True
+
+    async def get(self) -> object:
+        """Await the next result; raises :class:`ChannelClosed` once the
+        channel is closed *and* drained."""
+        while True:
+            if self._items:
+                item = self._items.popleft()
+                if not self._items:
+                    self._ready.clear()
+                return item
+            if self.closed:
+                raise ChannelClosed(self.close_reason or "closed")
+            self._ready.clear()
+            await self._ready.wait()
+
+    def close(self, reason: str = "closed") -> None:
+        """Close the channel (idempotent); pending items stay readable."""
+        if not self.closed:
+            self.closed = True
+            self.close_reason = reason
+        self._ready.set()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "queue": len(self._items),
+            "maxlen": self.maxlen,
+            "policy": self.policy,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "closed": self.closed,
+        }

@@ -1,0 +1,279 @@
+"""Wire protocols of the serving layer: HTTP/1.1, SSE, and WebSocket.
+
+Everything here is standard-library only, built directly on
+:mod:`asyncio` stream readers/writers.  The HTTP support is deliberately
+minimal — request-line + headers + ``Content-Length`` bodies, JSON in and
+out — because the serving layer's API surface is small and a dependency
+on a web framework would break the repository's no-new-deps rule.  Two
+streaming protocols ride on top of a parsed request:
+
+* **Server-Sent Events** (:func:`sse_event`): one-directional result push
+  with named events; any HTTP client that can read a chunked response can
+  consume it (``curl -N`` included).
+* **WebSocket** (:func:`websocket_accept_key`, :class:`WebSocketWriter`,
+  :func:`read_websocket_frame`): RFC 6455 server side — handshake,
+  unmasked server→client text frames, masked client frames, close/ping
+  control frames.  Enough for result push; no fragmentation or
+  extensions.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+#: Upper bound on the request head (request line + headers) and on JSON
+#: bodies.  Oversized requests are rejected instead of buffered.
+MAX_HEAD_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: RFC 6455 handshake GUID.
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+HTTP_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized request; maps to an HTTP error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP/1.1 request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    #: Path segments, split on "/" with empties dropped:
+    #: ``/subscriptions/fire/stream`` -> ("subscriptions", "fire", "stream").
+    segments: Tuple[str, ...] = field(default=())
+
+    def json(self) -> object:
+        """The body decoded as JSON (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(400, f"invalid JSON body: {exc}") from None
+
+    def wants_keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+async def read_request(reader) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` when the peer closed.
+
+    Raises :class:`ProtocolError` on malformed input, which the caller
+    turns into an error response before dropping the connection.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, OSError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_HEAD_BYTES:
+        raise ProtocolError(400, "request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise ProtocolError(400, "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(400, f"unsupported protocol {version}")
+
+    headers: Dict[str, str] = {}
+    head_bytes = len(line)
+    while True:
+        line = await reader.readline()
+        head_bytes += len(line)
+        if head_bytes > MAX_HEAD_BYTES:
+            raise ProtocolError(400, "request headers too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise ProtocolError(400, "invalid Content-Length") from None
+        if size > MAX_BODY_BYTES:
+            raise ProtocolError(413, f"body over {MAX_BODY_BYTES} bytes")
+        if size:
+            try:
+                body = await reader.readexactly(size)
+            except (EOFError, ConnectionError, OSError):
+                return None
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError(400, "chunked request bodies are not supported")
+
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+        segments=tuple(part for part in split.path.split("/") if part),
+    )
+
+
+def render_response(
+    status: int,
+    payload: object = None,
+    *,
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Render a full response; dict/list payloads are serialized as JSON."""
+    if payload is None:
+        body = b""
+        content_type = None
+    elif isinstance(payload, bytes):
+        body = payload
+        content_type = "application/octet-stream"
+    else:
+        body = (json.dumps(payload) + "\n").encode()
+        content_type = "application/json"
+    reason = HTTP_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    if content_type is not None:
+        lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append("Connection: " + ("keep-alive" if keep_alive else "close"))
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def error_response(status: int, message: str, *, headers=None, keep_alive=True) -> bytes:
+    return render_response(
+        status, {"error": message}, headers=headers, keep_alive=keep_alive
+    )
+
+
+# ----------------------------------------------------------------------
+# Server-Sent Events
+# ----------------------------------------------------------------------
+SSE_HEADER = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: text/event-stream\r\n"
+    b"Cache-Control: no-store\r\n"
+    b"Connection: close\r\n\r\n"
+)
+
+
+def sse_event(data: object, event: Optional[str] = None) -> bytes:
+    """One SSE frame; dict/list data is serialized as JSON."""
+    if not isinstance(data, str):
+        data = json.dumps(data)
+    lines = []
+    if event is not None:
+        lines.append(f"event: {event}")
+    for chunk in data.splitlines() or [""]:
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode()
+
+
+def sse_comment(text: str) -> bytes:
+    """An SSE comment line (keep-alive / informational, not an event)."""
+    return f": {text}\n\n".encode()
+
+
+# ----------------------------------------------------------------------
+# WebSocket (RFC 6455, server side)
+# ----------------------------------------------------------------------
+def is_websocket_upgrade(request: HttpRequest) -> bool:
+    return (
+        "websocket" in request.headers.get("upgrade", "").lower()
+        and "sec-websocket-key" in request.headers
+    )
+
+
+def websocket_accept_key(client_key: str) -> str:
+    digest = hashlib.sha1((client_key + _WS_GUID).encode()).digest()
+    return base64.b64encode(digest).decode()
+
+
+def websocket_handshake_response(request: HttpRequest) -> bytes:
+    accept = websocket_accept_key(request.headers["sec-websocket-key"])
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept}\r\n\r\n"
+    ).encode("latin-1")
+
+
+def encode_websocket_frame(payload: bytes, opcode: int = 0x1) -> bytes:
+    """One unmasked server→client frame (FIN set, no fragmentation)."""
+    head = bytes([0x80 | opcode])
+    length = len(payload)
+    if length < 126:
+        head += bytes([length])
+    elif length < 1 << 16:
+        head += bytes([126]) + struct.pack("!H", length)
+    else:
+        head += bytes([127]) + struct.pack("!Q", length)
+    return head + payload
+
+
+async def read_websocket_frame(reader) -> Optional[Tuple[int, bytes]]:
+    """Read one client frame; returns ``(opcode, payload)`` or ``None`` at EOF.
+
+    Client frames are masked per RFC 6455; the mask is applied here so the
+    caller sees plain payload bytes.
+    """
+    try:
+        head = await reader.readexactly(2)
+    except (EOFError, ConnectionError, OSError):
+        return None
+    opcode = head[0] & 0x0F
+    masked = bool(head[1] & 0x80)
+    length = head[1] & 0x7F
+    try:
+        if length == 126:
+            length = struct.unpack("!H", await reader.readexactly(2))[0]
+        elif length == 127:
+            length = struct.unpack("!Q", await reader.readexactly(8))[0]
+        if length > MAX_BODY_BYTES:
+            return None
+        mask = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except (EOFError, ConnectionError, OSError):
+        return None
+    if masked and payload:
+        payload = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+#: WebSocket control opcodes the serving layer reacts to.
+WS_TEXT, WS_CLOSE, WS_PING, WS_PONG = 0x1, 0x8, 0x9, 0xA

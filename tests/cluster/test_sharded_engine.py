@@ -191,6 +191,37 @@ class TestWorkerFailure:
             with pytest.raises(ShardError, match="failed during push"):
                 engine.synchronize()
 
+    def test_close_after_latched_failure_is_a_safe_noop(self):
+        # A worker that latched a push failure replies "err" to every
+        # synchronous opcode — including "close".  The facade's close must
+        # swallow that (shutdown is best-effort), terminate the workers,
+        # and stay a no-op when called again.
+        engine = ShardedStreamEngine(2)
+        engine.subscribe("q", QUERIES["fine"])
+        engine.push_many(make_objects(random_scores(240, seed=3)))
+        engine.push(make_objects([1.0], start_t=0)[0])  # t goes backwards
+        with pytest.raises(ShardError, match="failed during push"):
+            engine.synchronize()
+        engine.close()  # must not raise despite the latched failure
+        assert engine.closed
+        engine.close()  # and repeating it is a safe no-op
+        assert all(
+            not shard.process.is_alive() for shard in engine._router._shards
+        )
+
+    def test_drain_results_merges_all_shards(self):
+        with ShardedStreamEngine(2) as engine:
+            engine.subscribe("fine", QUERIES["fine"])
+            engine.subscribe("coarse", QUERIES["coarse"])
+            engine.push_many(make_objects(random_scores(400, seed=4)))
+            engine.synchronize()
+            produced = engine.drain_results()
+            assert set(produced) == {"fine", "coarse"}
+            assert all(results for results in produced.values())
+            # Drained on every shard: nothing is retained afterwards.
+            assert engine.drain_results() == {}
+            assert engine.results("fine") == []
+
     def test_healthy_shards_stay_usable_after_one_shard_fails(self):
         # A broadcast that hits one broken shard must still consume the
         # healthy shards' replies — otherwise every later request/reply

@@ -265,6 +265,30 @@ class TestLifecycle:
             engine.subscribe("q", TopKQuery(n=50, k=3, s=10))
         assert engine.closed
 
+    def test_drain_results_consumes_every_subscription(self):
+        objects = make_objects(random_scores(200, seed=16))
+        engine = StreamEngine(keep_results=True)
+        engine.subscribe("a", TopKQuery(n=50, k=3, s=10))
+        engine.subscribe("b", TopKQuery(n=40, k=2, s=20))
+        engine.push_many(objects)
+        produced = engine.drain_results()
+        assert set(produced) == {"a", "b"}
+        assert all(results for results in produced.values())
+        # Drained means drained: a second call finds nothing new...
+        assert engine.drain_results() == {}
+        engine.push_many(make_objects(random_scores(50, seed=17), start_t=200))
+        # ...until new slides complete, and empty subscriptions are omitted.
+        assert set(engine.drain_results()) == {"a", "b"}
+
+    def test_drain_results_readable_after_close(self):
+        engine = StreamEngine(keep_results=True)
+        engine.subscribe("q", TopKQuery(n=50, k=3, s=10))
+        engine.push_many(make_objects(random_scores(120, seed=18)))
+        engine.close()
+        # Reading retained answers off a closed engine is allowed — the
+        # serving layer drains one final time during shutdown.
+        assert engine.drain_results()["q"]
+
 
 class TestMultiQuery:
     def test_each_subscription_matches_standalone_run(self):

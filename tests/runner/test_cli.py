@@ -137,6 +137,46 @@ class TestShardCommand:
         assert "least-loaded placement" in captured
 
 
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.engine == "local"
+        assert args.shards == 2
+        assert args.max_subscriptions == 1024
+        assert args.client_queue == 256
+        assert args.slow_client == "drop-oldest"
+        assert args.dedupe_window == 65_536
+        assert args.linger_ms == 50
+
+    def test_serve_rejects_unknown_policy_and_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--slow-client", "drop-newest"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--engine", "distributed"])
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args(["--version"])
+        assert exit_info.value.code == 0
+        printed = capsys.readouterr().out.strip()
+        from repro.cli import package_version
+
+        assert printed == f"repro {package_version()}"
+
+    def test_package_version_matches_source_tree(self):
+        # Installed or not, the reported version must agree with the
+        # package's own __version__ (pyproject and source are kept equal).
+        import repro
+        from repro.cli import package_version
+
+        assert package_version() == repro.__version__
+
+
 class TestGeneratedDocstring:
     def test_docstring_lists_every_registered_command(self):
         import repro.cli as cli

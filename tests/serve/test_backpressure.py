@@ -1,0 +1,127 @@
+"""Tests for admission control and the bounded per-client channels
+(:mod:`repro.serve.backpressure`)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.backpressure import (
+    DISCONNECT,
+    DROP_OLDEST,
+    AdmissionControl,
+    AdmissionError,
+    ChannelClosed,
+    ClientChannel,
+)
+
+
+class TestAdmissionControl:
+    def test_admits_up_to_the_cap_then_rejects(self):
+        control = AdmissionControl(max_subscriptions=2, retry_after=7)
+        control.admit()
+        control.admit()
+        with pytest.raises(AdmissionError) as err:
+            control.admit()
+        assert err.value.retry_after == 7  # becomes the Retry-After header
+        assert err.value.limit == 2
+
+    def test_release_reopens_a_slot(self):
+        control = AdmissionControl(max_subscriptions=1)
+        control.admit()
+        with pytest.raises(AdmissionError):
+            control.admit()
+        control.release()
+        control.admit()  # does not raise
+
+    def test_stats_count_rejections(self):
+        control = AdmissionControl(max_subscriptions=1)
+        control.admit()
+        for _ in range(3):
+            with pytest.raises(AdmissionError):
+                control.admit()
+        stats = control.stats()
+        assert stats["active"] == 1
+        assert stats["max_subscriptions"] == 1
+        assert stats["rejected"] == 3
+
+    def test_release_never_goes_negative(self):
+        control = AdmissionControl(max_subscriptions=4)
+        control.release()
+        assert control.stats()["active"] == 0
+
+
+class TestClientChannelDropOldest:
+    def test_bounded_queue_drops_oldest(self):
+        channel = ClientChannel(maxlen=3, policy=DROP_OLDEST)
+        for i in range(5):
+            assert channel.offer(i)  # drop-oldest always accepts
+        assert channel.stats()["dropped"] == 2
+        assert channel.stats()["queue"] == 3
+
+        async def drain():
+            return [await channel.get() for _ in range(3)]
+
+        # The two oldest answers (0, 1) were sacrificed; order preserved.
+        assert asyncio.run(drain()) == [2, 3, 4]
+
+    def test_get_waits_for_offer(self):
+        channel = ClientChannel(maxlen=4, policy=DROP_OLDEST)
+
+        async def go():
+            async def producer():
+                await asyncio.sleep(0.01)
+                channel.offer("late")
+
+            task = asyncio.ensure_future(producer())
+            value = await channel.get()
+            await task
+            return value
+
+        assert asyncio.run(go()) == "late"
+
+
+class TestClientChannelDisconnect:
+    def test_overflow_disconnects_but_keeps_pending_readable(self):
+        channel = ClientChannel(maxlen=2, policy=DISCONNECT)
+        assert channel.offer("a")
+        assert channel.offer("b")
+        assert not channel.offer("c")  # overflow: the client is cut off
+        assert channel.closed
+        assert channel.close_reason == "slow-client"
+        assert channel.stats()["dropped"] == 1
+
+        async def drain():
+            got = [await channel.get(), await channel.get()]
+            with pytest.raises(ChannelClosed):
+                await channel.get()
+            return got
+
+        # Already-queued answers are still delivered before the cut.
+        assert asyncio.run(drain()) == ["a", "b"]
+
+    def test_offer_after_close_is_refused(self):
+        channel = ClientChannel(maxlen=2, policy=DISCONNECT)
+        channel.close("client-disconnect")
+        assert not channel.offer("x")
+        assert channel.stats()["queue"] == 0
+
+    def test_close_is_idempotent_and_keeps_first_reason(self):
+        channel = ClientChannel(maxlen=2, policy=DROP_OLDEST)
+        channel.close("first")
+        channel.close("second")
+        assert channel.close_reason == "first"
+
+    def test_close_wakes_a_blocked_reader(self):
+        channel = ClientChannel(maxlen=2, policy=DROP_OLDEST)
+
+        async def go():
+            async def closer():
+                await asyncio.sleep(0.01)
+                channel.close("server-shutdown")
+
+            task = asyncio.ensure_future(closer())
+            with pytest.raises(ChannelClosed):
+                await channel.get()
+            await task
+
+        asyncio.run(go())

@@ -1,0 +1,193 @@
+"""Wire-format tests for :mod:`repro.serve.protocol`.
+
+The parser and framers are plain functions over bytes, so everything here
+runs without a socket: HTTP requests come from in-memory stream readers,
+WebSocket frames round-trip through the encoder and decoder directly.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    WS_CLOSE,
+    WS_PING,
+    WS_TEXT,
+    HttpRequest,
+    ProtocolError,
+    encode_websocket_frame,
+    error_response,
+    is_websocket_upgrade,
+    read_request,
+    read_websocket_frame,
+    render_response,
+    sse_comment,
+    sse_event,
+    websocket_accept_key,
+    websocket_handshake_response,
+)
+
+
+def parse(raw: bytes) -> HttpRequest:
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestHttpParsing:
+    def test_request_line_query_and_headers(self):
+        req = parse(
+            b"GET /subscriptions/q1/results?drain=true&x=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\nX-Custom: Value\r\n\r\n"
+        )
+        assert req.method == "GET"
+        assert req.path == "/subscriptions/q1/results"
+        assert req.segments == ("subscriptions", "q1", "results")
+        assert req.query == {"drain": "true", "x": "1"}
+        assert req.headers["x-custom"] == "Value"  # header names lowercase
+
+    def test_body_read_by_content_length(self):
+        body = json.dumps({"events": [1, 2, 3]}).encode()
+        req = parse(
+            b"POST /events HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s"
+            % (len(body), body)
+        )
+        assert req.json() == {"events": [1, 2, 3]}
+
+    def test_eof_before_any_bytes_is_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_chunked_transfer_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            parse(
+                b"POST /events HTTP/1.1\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n0\r\n\r\n"
+            )
+        assert err.value.status == 400
+
+    def test_oversized_body_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            parse(b"POST /events HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+        assert err.value.status == 413
+
+    def test_bad_json_body_maps_to_400(self):
+        req = parse(b"POST /events HTTP/1.1\r\nContent-Length: 4\r\n\r\n{oop")
+        with pytest.raises(ProtocolError) as err:
+            req.json()
+        assert err.value.status == 400
+
+    def test_keep_alive_default_and_close(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").wants_keep_alive()
+        req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not req.wants_keep_alive()
+
+
+class TestResponses:
+    def test_json_response_has_length_and_type(self):
+        raw = render_response(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Type: application/json" in head
+        assert json.loads(body) == {"ok": True}
+        assert b"Content-Length: %d" % len(body) in head
+
+    def test_error_response_carries_status_and_message(self):
+        raw = error_response(404, "no such subscription")
+        assert raw.startswith(b"HTTP/1.1 404")
+        assert b"no such subscription" in raw
+
+    def test_extra_headers_rendered(self):
+        raw = render_response(429, {"error": "full"}, headers={"Retry-After": "5"})
+        assert b"Retry-After: 5\r\n" in raw
+
+
+class TestServerSentEvents:
+    def test_event_framing(self):
+        frame = sse_event({"a": 1}, event="result")
+        assert frame == b'event: result\ndata: {"a": 1}\n\n'
+
+    def test_comment_framing(self):
+        assert sse_comment("hello") == b": hello\n\n"
+
+
+class TestWebSocket:
+    def test_accept_key_rfc6455_example(self):
+        # The worked example from RFC 6455 section 1.3.
+        assert (
+            websocket_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_upgrade_detection(self):
+        req = parse(
+            b"GET /subscriptions/q/ws HTTP/1.1\r\n"
+            b"Upgrade: websocket\r\nConnection: keep-alive, Upgrade\r\n"
+            b"Sec-WebSocket-Key: abc\r\n\r\n"
+        )
+        assert is_websocket_upgrade(req)
+        assert not is_websocket_upgrade(parse(b"GET / HTTP/1.1\r\n\r\n"))
+
+    def test_handshake_response_contains_accept(self):
+        req = parse(
+            b"GET /subscriptions/q/ws HTTP/1.1\r\n"
+            b"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            b"Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n\r\n"
+        )
+        raw = websocket_handshake_response(req)
+        assert raw.startswith(b"HTTP/1.1 101")
+        assert b"s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" in raw
+
+    @pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536, 70000])
+    def test_frame_roundtrip_all_length_encodings(self, size):
+        # Server frames are unmasked; the reader accepts them as a client
+        # would, which exercises the 7/16/64-bit length paths.
+        payload = bytes(i % 251 for i in range(size))
+        frame = encode_websocket_frame(payload, opcode=WS_TEXT)
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            return await read_websocket_frame(reader)
+
+        opcode, decoded = asyncio.run(go())
+        assert opcode == WS_TEXT
+        assert decoded == payload
+
+    def test_masked_client_frame_is_unmasked(self):
+        # Hand-build a masked client frame: "Hi" with mask 0x11223344.
+        mask = bytes([0x11, 0x22, 0x33, 0x44])
+        payload = b"Hi"
+        masked = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+        frame = bytes([0x80 | WS_TEXT, 0x80 | len(payload)]) + mask + masked
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            return await read_websocket_frame(reader)
+
+        opcode, decoded = asyncio.run(go())
+        assert (opcode, decoded) == (WS_TEXT, b"Hi")
+
+    def test_eof_mid_frame_returns_none(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(bytes([0x80 | WS_TEXT, 126, 0x01]))  # truncated
+            reader.feed_eof()
+            return await read_websocket_frame(reader)
+
+        assert asyncio.run(go()) is None
+
+    def test_control_opcodes_exported(self):
+        assert (WS_CLOSE, WS_PING) == (0x8, 0x9)

@@ -1,0 +1,386 @@
+"""End-to-end tests of the serving layer over real sockets.
+
+One server per test class (module-scoped fixtures would leak state
+between tests that mutate subscriptions), driven with
+:mod:`http.client` — the stdlib client exercises keep-alive, chunk-free
+bodies, and status codes exactly the way external producers will.
+"""
+
+import base64
+import hashlib
+import json
+import os
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.serve import (
+    DISCONNECT,
+    ServeConfig,
+    run_in_thread,
+)
+
+@pytest.fixture()
+def server():
+    with run_in_thread(ServeConfig(port=0, linger_ms=10)) as handle:
+        yield handle
+
+
+def request(handle, method, path, body=None):
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=10)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        conn.request(
+            method, path, body=payload, headers={"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        decoded = json.loads(raw) if raw else None
+        return response.status, decoded, dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def subscribe(handle, name, *, n=10, k=3, s=5, **extra):
+    body = {"name": name, "n": n, "k": k, "s": s, **extra}
+    return request(handle, "POST", "/subscriptions", body)
+
+
+def ingest(handle, events):
+    return request(handle, "POST", "/events", {"events": events})
+
+
+def wait_for_results(handle, name, minimum=1, timeout=5.0):
+    """Poll (without draining) until the subscription has answers."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body, _ = request(handle, "GET", f"/subscriptions/{name}/results")
+        assert status == 200
+        if len(body["results"]) >= minimum:
+            return body["results"]
+        time.sleep(0.02)
+    raise AssertionError(f"no results for {name!r} within {timeout}s")
+
+
+class TestSubscriptionLifecycle:
+    def test_create_list_inspect_unsubscribe(self, server):
+        status, body, _ = subscribe(server, "alpha", n=20, k=5, s=10)
+        assert status == 201
+        assert body["query"] == {"n": 20, "k": 5, "s": 10, "time_based": False}
+        assert body["algorithm"] == "SAP"
+
+        status, body, _ = request(server, "GET", "/subscriptions")
+        assert status == 200
+        assert [s["name"] for s in body["subscriptions"]] == ["alpha"]
+
+        status, body, _ = request(server, "GET", "/subscriptions/alpha")
+        assert status == 200
+        assert body["name"] == "alpha"
+        assert "engine" in body  # engine-side stats merged in
+
+        status, _, _ = request(server, "DELETE", "/subscriptions/alpha")
+        assert status == 204
+        status, _, _ = request(server, "GET", "/subscriptions/alpha")
+        assert status == 404
+
+    def test_duplicate_name_conflicts(self, server):
+        assert subscribe(server, "dup")[0] == 201
+        status, body, _ = subscribe(server, "dup")
+        assert status == 409
+        assert "exists" in body["error"]
+
+    def test_bad_bodies_are_400(self, server):
+        for body in [
+            {"name": "x"},  # missing n/k
+            {"name": "x", "n": 10, "k": 30, "s": 5},  # k exceeds the window
+            {"name": "x", "n": 10, "k": 3, "s": 5, "algorithm": "nope"},
+            {"name": "", "n": 10, "k": 3, "s": 5},
+        ]:
+            status, _, _ = request(server, "POST", "/subscriptions", body)
+            assert status == 400, body
+
+    def test_unknown_routes_and_methods(self, server):
+        assert request(server, "GET", "/nope")[0] == 404
+        subscribe(server, "q")
+        assert request(server, "PUT", "/subscriptions/q")[0] == 405
+
+    def test_health_and_stats(self, server):
+        status, body, _ = request(server, "GET", "/health")
+        assert (status, body["status"]) == (200, "ok")
+        status, body, _ = request(server, "GET", "/stats")
+        assert status == 200
+        assert body["engine"] == "local"
+        assert {"ingest", "admission", "sessions"} <= set(body)
+
+
+class TestAdmissionControl:
+    def test_429_with_retry_after_past_the_cap(self):
+        config = ServeConfig(port=0, max_subscriptions=2, retry_after=9)
+        with run_in_thread(config) as handle:
+            assert subscribe(handle, "a")[0] == 201
+            assert subscribe(handle, "b")[0] == 201
+            status, body, headers = subscribe(handle, "c")
+            assert status == 429
+            assert headers["Retry-After"] == "9"
+            assert "limit" in body["error"]
+            # Unsubscribing frees the slot for a newcomer.
+            assert request(handle, "DELETE", "/subscriptions/a")[0] == 204
+            assert subscribe(handle, "c")[0] == 201
+
+
+class TestIngestion:
+    def test_duplicates_counted_and_ignored(self, server):
+        subscribe(server, "q")
+        events = [{"id": f"e{i}", "score": float(i), "payload": i} for i in range(15)]
+        status, body, _ = ingest(server, events + events[:4])
+        assert status == 200
+        assert body["accepted"] == 15
+        assert body["duplicates"] == 4
+
+        results = wait_for_results(server, "q", minimum=2)
+        # 15 admitted events, n=10, s=5: windows close at t=9 and t=14.
+        # The four redelivered events produced nothing — with them, the
+        # second window would have closed early with different members.
+        assert [r["slide_index"] for r in results] == [0, 1]
+        assert results[1]["objects"][0]["score"] == 14.0
+        status, body, _ = request(server, "GET", "/stats")
+        assert body["ingest"]["dedupe"]["duplicates"] == 4
+
+    def test_single_event_and_array_bodies(self, server):
+        subscribe(server, "q")
+        status, body, _ = request(server, "POST", "/events", {"score": 1.5})
+        assert (status, body["accepted"]) == (200, 1)
+        status, body, _ = request(server, "POST", "/events", [{"score": 2.0}])
+        assert (status, body["accepted"]) == (200, 1)
+
+    def test_invalid_event_rejects_the_request(self, server):
+        subscribe(server, "q")
+        status, body, _ = ingest(server, [{"score": "not-a-number"}])
+        assert status == 400
+
+    def test_events_without_subscribers_are_dropped(self, server):
+        status, body, _ = ingest(server, [{"score": 1.0}, {"score": 2.0}])
+        assert status == 200
+        _, stats, _ = request(server, "GET", "/stats")
+        assert stats["ingest"]["dropped_no_subscribers"] == 2
+
+    def test_linger_flushes_partial_slides(self, server):
+        subscribe(server, "q", n=10, k=2, s=5)
+        # 12 events: 10 flush aligned, the 2-event tail rides the linger
+        # timer; the next 3 never reach alignment (5) inside one call, so
+        # only the linger can complete the second window.
+        ingest(server, [{"score": float(i)} for i in range(12)])
+        results = wait_for_results(server, "q", minimum=1)
+        assert results[0]["slide_index"] == 0
+        ingest(server, [{"score": float(i)} for i in range(12, 15)])
+        results = wait_for_results(server, "q", minimum=2)
+        assert results[1]["slide_index"] == 1
+        assert results[1]["window_end"] == 14
+
+    def test_drain_empties_history(self, server):
+        subscribe(server, "q")
+        ingest(server, [{"score": float(i)} for i in range(15)])
+        wait_for_results(server, "q", minimum=2)
+        _, body, _ = request(server, "GET", "/subscriptions/q/results?drain=true")
+        assert len(body["results"]) >= 2
+        _, body, _ = request(server, "GET", "/subscriptions/q/results")
+        assert body["results"] == []
+
+
+class TestStreamingDelivery:
+    def read_until(self, sock, marker, timeout=5.0):
+        sock.settimeout(timeout)
+        buf = b""
+        while marker not in buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+        return buf
+
+    def test_sse_stream_delivers_results(self, server):
+        subscribe(server, "q")
+        sse = socket.create_connection(("127.0.0.1", server.port))
+        try:
+            sse.sendall(
+                b"GET /subscriptions/q/stream HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            head = self.read_until(sse, b": subscribed q")
+            assert b"text/event-stream" in head
+            ingest(server, [{"score": float(i)} for i in range(10)])
+            frame = self.read_until(sse, b"event: result")
+            data = [
+                line[len(b"data: "):]
+                for line in frame.splitlines()
+                if line.startswith(b"data: ")
+            ]
+            record = json.loads(b"\n".join(data))
+            assert record["subscription"] == "q"
+            assert len(record["objects"]) == 3  # k=3
+        finally:
+            sse.close()
+
+    def test_websocket_stream_delivers_results(self, server):
+        subscribe(server, "q")
+        ws = socket.create_connection(("127.0.0.1", server.port))
+        try:
+            key = base64.b64encode(os.urandom(16)).decode()
+            ws.sendall(
+                (
+                    "GET /subscriptions/q/ws HTTP/1.1\r\nHost: t\r\n"
+                    "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+                    f"Sec-WebSocket-Key: {key}\r\n"
+                    "Sec-WebSocket-Version: 13\r\n\r\n"
+                ).encode()
+            )
+            head = self.read_until(ws, b"\r\n\r\n")
+            assert head.startswith(b"HTTP/1.1 101")
+            accept = base64.b64encode(
+                hashlib.sha1(
+                    (key + "258EAFA5-E914-47DA-95CA-C5AB0DC85B11").encode()
+                ).digest()
+            )
+            assert accept in head
+
+            ingest(server, [{"score": float(i)} for i in range(10)])
+            ws.settimeout(5.0)
+            frame = ws.recv(65536)
+            opcode, length = frame[0] & 0x0F, frame[1] & 0x7F
+            offset = 2
+            if length == 126:
+                length = struct.unpack(">H", frame[2:4])[0]
+                offset = 4
+            record = json.loads(frame[offset : offset + length])
+            assert opcode == 0x1
+            assert record["subscription"] == "q"
+        finally:
+            ws.close()
+
+    def test_disconnecting_sse_client_is_detached(self, server):
+        subscribe(server, "q")
+        sse = socket.create_connection(("127.0.0.1", server.port))
+        sse.sendall(b"GET /subscriptions/q/stream HTTP/1.1\r\nHost: t\r\n\r\n")
+        self.read_until(sse, b": subscribed q")
+        _, body, _ = request(server, "GET", "/subscriptions/q")
+        assert body["clients"] == 1
+        sse.close()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            _, body, _ = request(server, "GET", "/subscriptions/q")
+            if body["clients"] == 0:
+                break
+            time.sleep(0.02)
+        assert body["clients"] == 0
+
+
+class TestSlowClients:
+    """Deterministic backpressure tests against server internals: a
+    channel is attached directly (no TCP buffering races), then the
+    delivery path is driven through real ingestion."""
+
+    def attach_channel(self, handle, name, maxlen, policy):
+        import asyncio
+
+        from repro.serve.backpressure import ClientChannel
+
+        session = handle.server.registry.get(name)
+
+        async def attach():
+            channel = ClientChannel(maxlen=maxlen, policy=policy)
+            session.attach(channel)
+            return channel
+
+        future = asyncio.run_coroutine_threadsafe(attach(), handle.loop)
+        return future.result(timeout=5)
+
+    def test_drop_oldest_accounting_reaches_session_stats(self, server):
+        subscribe(server, "q", n=10, k=2, s=5)
+        channel = self.attach_channel(server, "q", maxlen=2, policy="drop-oldest")
+        # 30 events, n=10, s=5: windows close at t=9..29 -> 5 answers
+        # offered to a 2-slot queue nobody reads -> 3 drops.
+        ingest(server, [{"score": float(i)} for i in range(30)])
+        deadline = time.monotonic() + 5
+        body = {}
+        while time.monotonic() < deadline:
+            _, body, _ = request(server, "GET", "/subscriptions/q")
+            if body["results_dropped"] >= 3:
+                break
+            time.sleep(0.02)
+        assert body["results_dropped"] == 3
+        assert body["results_pushed"] == 5
+        assert channel.stats()["queue"] == 2
+
+    def test_disconnect_policy_closes_the_channel(self, server):
+        subscribe(server, "q", n=10, k=2, s=5)
+        channel = self.attach_channel(server, "q", maxlen=1, policy=DISCONNECT)
+        ingest(server, [{"score": float(i)} for i in range(30)])
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if channel.closed:
+                break
+            time.sleep(0.02)
+        assert channel.closed
+        assert channel.close_reason == "slow-client"
+        _, body, _ = request(server, "GET", "/subscriptions/q")
+        assert body["clients_disconnected"] == 1
+        assert body["clients"] == 0  # the dead channel was discarded
+
+
+class TestGracefulShutdown:
+    def test_shutdown_pushes_the_buffered_tail(self):
+        # Events still below one slide alignment when the server stops are
+        # pushed before the engine closes instead of being dropped.
+        config = ServeConfig(port=0, linger_ms=60_000)  # linger never fires
+        handle = run_in_thread(config)
+        try:
+            subscribe(handle, "q", n=10, k=2, s=5)
+            ingest(handle, [{"score": float(i)} for i in range(12)])
+            wait_for_results(handle, "q", minimum=1)
+            assert handle.server.batcher.stats()["pending"] == 2
+        finally:
+            handle.stop()
+        assert handle.server.batcher.stats()["pending"] == 0
+        session = handle.server.registry.get("q")
+        assert list(session.history)[0]["slide_index"] == 0
+
+    def test_shutdown_delivers_final_time_based_report(self):
+        # Time-based windows emit an end-of-stream report on close; the
+        # shutdown drain must deliver it to the subscription history.
+        config = ServeConfig(port=0, linger_ms=5)
+        handle = run_in_thread(config)
+        try:
+            subscribe(handle, "t", n=10, k=2, s=5, time_based=True)
+            ingest(handle, [{"score": float(i)} for i in range(12)])
+            wait_for_results(handle, "t", minimum=1)
+        finally:
+            handle.stop()
+        records = list(handle.server.registry.get("t").history)
+        # Slide 0 closed in-stream at t=10; slide 1 is the final report.
+        assert [r["slide_index"] for r in records] == [0, 1]
+        assert records[1]["window_end"] == 15
+
+    def test_stop_is_idempotent(self):
+        handle = run_in_thread(ServeConfig(port=0))
+        handle.stop()
+        handle.stop()  # second stop is a no-op
+
+
+class TestSharded:
+    def test_serves_from_the_sharded_plane(self):
+        config = ServeConfig(port=0, engine="sharded", shards=2, linger_ms=10)
+        with run_in_thread(config) as handle:
+            subscribe(handle, "a", n=10, k=3, s=5)
+            subscribe(handle, "b", n=20, k=4, s=10)
+            events = [{"id": f"e{i}", "score": float(i)} for i in range(40)]
+            _, body, _ = ingest(handle, events + events[:7])
+            assert body["duplicates"] == 7
+            results_a = wait_for_results(handle, "a", minimum=7)
+            results_b = wait_for_results(handle, "b", minimum=3)
+            assert [r["slide_index"] for r in results_a] == list(range(7))
+            assert [r["slide_index"] for r in results_b] == list(range(3))
+            # Top scores are the stream maxima within each window.
+            assert results_a[-1]["objects"][0]["score"] == 39.0
