@@ -32,6 +32,13 @@ ALGORITHMS = ("SAP", "k-skyband", "MinTopK")
 #: Trajectory file recorded at the repository root.
 TRAJECTORY_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_multiquery.json")
 
+#: SAP shared-plane throughput (events/second) recorded in the trajectory
+#: file before the columnar data plane landed, on this workload at default
+#: scale.  The vectorized-vs-seed row in the trajectory headline compares
+#: the current single-process shared plane against this constant, so the
+#: per-object -> columnar hot-path rewrite stays visible across PRs.
+SEED_SAP_SHARED_EVENTS_PER_SECOND = 76_155.4
+
 
 def fanout_shape(scale):
     """The bench's window shape: a wide monitoring window with a 5% slide.
@@ -79,6 +86,20 @@ def write_trajectory(rows, scale) -> None:
             for row in rows
         },
     }
+    sap = next((row for row in rows if row["algorithm"] == "SAP"), None)
+    if sap is not None:
+        shared_eps = sap["shared"]["events_per_second"]
+        payload["vectorized_vs_seed"] = {
+            "algorithm": "SAP",
+            "scale": scale.name,
+            "seed_events_per_second": SEED_SAP_SHARED_EVENTS_PER_SECOND,
+            "vectorized_events_per_second": round(shared_eps, 1),
+            # Only the default scale reran the seed's exact workload; other
+            # scales record the ratio for context, not for the bar.
+            "speedup_vs_seed": round(
+                shared_eps / SEED_SAP_SHARED_EVENTS_PER_SECOND, 3
+            ),
+        }
     try:
         with open(TRAJECTORY_PATH, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)

@@ -69,40 +69,66 @@ def mixed_workload(scale):
 
 
 def sharding_sweep(scale):
-    row = measure_sharding(
-        dataset="STOCK",
-        workload=mixed_workload(scale),
-        algorithm="SAP",
-        stream_length=scale.stream_length,
-        shards=SHARDS,
-        placement="hash-window",
-        verify=True,
-        rebalance=True,
-    )
-    return [row]
+    """One row per transport: the queue row keeps the full exactness
+    battery (verify + mid-stream rebalance); the shm row re-verifies
+    byte-identity over the shared-memory ring and carries the per-batch
+    serialize/transfer/deserialize breakdown for both."""
+    rows = []
+    for transport, rebalance in (("queue", True), ("shm", False)):
+        rows.append(
+            measure_sharding(
+                dataset="STOCK",
+                workload=mixed_workload(scale),
+                algorithm="SAP",
+                stream_length=scale.stream_length,
+                shards=SHARDS,
+                placement="hash-window",
+                verify=True,
+                rebalance=rebalance,
+                transport=transport,
+            )
+        )
+    return rows
 
 
 def write_trajectory(rows, scale) -> None:
-    row = rows[0]
+    by_transport = {row["transport"]: row for row in rows}
+    queue_row = by_transport.get("queue", rows[0])
+    shm_row = by_transport.get("shm")
+    headline = {
+        "speedup": round(queue_row["speedup"], 3),
+        "single_process_objects_per_second": round(
+            queue_row["single_process"]["objects_per_second"], 1
+        ),
+        "sharded_objects_per_second": round(
+            queue_row["sharded"]["objects_per_second"], 1
+        ),
+        "exact": all(row["exact"] for row in rows),
+        "rebalance_exact": queue_row["rebalance_exact"],
+    }
+    if shm_row is not None:
+        breakdown = shm_row["transport_breakdown"]
+        headline["shm"] = {
+            "speedup": round(shm_row["speedup"], 3),
+            "sharded_objects_per_second": round(
+                shm_row["sharded"]["objects_per_second"], 1
+            ),
+            "exact": shm_row["exact"],
+            "bytes_per_event": round(breakdown["bytes_per_event"], 1),
+            "serialize_seconds": round(breakdown["serialize_seconds"], 4),
+            "transfer_seconds": round(breakdown["transfer_seconds"], 4),
+            "deserialize_seconds": round(breakdown["deserialize_seconds"], 4),
+        }
     payload = {
         "benchmark": "sharding",
         "scale": scale.name,
-        "queries": row["queries"],
-        "shards": row["shards"],
-        "placement": "pinned" if row["pinned"] else row["placement"],
-        "cpu_count": row["cpu_count"],
+        "queries": queue_row["queries"],
+        "shards": queue_row["shards"],
+        "placement": "pinned" if queue_row["pinned"] else queue_row["placement"],
+        "cpu_count": queue_row["cpu_count"],
+        "transports": sorted(by_transport),
         "rows": rows,
-        "headline": {
-            "speedup": round(row["speedup"], 3),
-            "single_process_objects_per_second": round(
-                row["single_process"]["objects_per_second"], 1
-            ),
-            "sharded_objects_per_second": round(
-                row["sharded"]["objects_per_second"], 1
-            ),
-            "exact": row["exact"],
-            "rebalance_exact": row["rebalance_exact"],
-        },
+        "headline": headline,
     }
     try:
         with open(TRAJECTORY_PATH, "w") as handle:
@@ -119,27 +145,46 @@ def test_sharding(benchmark, scale):
     table = format_table(
         f"Sharding ({scale.name} scale): {row['queries']} mixed-window queries, "
         f"one process vs {row['shards']} shards on {row['cpu_count']} core(s)",
-        ["single s", "sharded s", "speedup", "single obj/s", "sharded obj/s", "exact", "rebalance"],
+        [
+            "transport",
+            "single s",
+            "sharded s",
+            "speedup",
+            "sharded obj/s",
+            "B/event",
+            "ser s",
+            "xfer s",
+            "deser s",
+            "exact",
+        ],
         [
             [
-                row["single_process"]["seconds"],
-                row["sharded"]["seconds"],
-                row["speedup"],
-                row["single_process"]["objects_per_second"],
-                row["sharded"]["objects_per_second"],
-                str(row["exact"]),
-                str(row["rebalance_exact"]),
+                each["transport"],
+                each["single_process"]["seconds"],
+                each["sharded"]["seconds"],
+                each["speedup"],
+                each["sharded"]["objects_per_second"],
+                each["transport_breakdown"]["bytes_per_event"],
+                each["transport_breakdown"]["serialize_seconds"],
+                each["transport_breakdown"]["transfer_seconds"],
+                each["transport_breakdown"]["deserialize_seconds"],
+                str(each["exact"]),
             ]
+            for each in rows
         ],
     )
     print("\n" + table)
     write_results("sharding", table, raw={"rows": rows})
     write_trajectory(rows, scale)
 
-    # Correctness bars hold on any hardware: the sharded plane must be
-    # indistinguishable from the single-process engine, including across a
-    # mid-stream rebalance.
-    assert row["exact"], "sharded answers differ from the single-process engine"
+    # Correctness bars hold on any hardware and over any transport: the
+    # sharded plane must be indistinguishable from the single-process
+    # engine, including across a mid-stream rebalance.
+    for each in rows:
+        assert each["exact"], (
+            f"sharded answers over the {each['transport']} transport differ "
+            "from the single-process engine"
+        )
     assert row["rebalance_exact"], "a mid-stream rebalance changed answers"
 
     # The throughput bar needs actual cores to parallelise over, and a

@@ -232,6 +232,8 @@ def measure_sharding(
     placement: str = "hash-window",
     verify: bool = True,
     rebalance: bool = True,
+    transport: str = "queue",
+    repeats: int = 3,
 ) -> Dict[str, object]:
     """The sharded plane against one single-process engine.
 
@@ -246,6 +248,14 @@ def measure_sharding(
     sequences are checked to be byte-identical; with ``rebalance``, a
     third sharded run moves one subscription to another shard mid-stream
     and its answers are checked against the uninterrupted reference.
+
+    ``transport`` picks the router's data path (``"queue"`` or ``"shm"``);
+    the timing run also collects the router/worker transport counters and
+    reports a per-batch breakdown (serialize/transfer/deserialize seconds
+    plus bytes per event) under ``"transport_breakdown"``.  Both timing
+    legs take the minimum over ``repeats`` fresh runs: a cold worker pool
+    (process spawn, first-touch imports, scheduler placement) easily
+    doubles a single measurement on a busy host.
 
     On a single-core host the sharded run measures IPC overhead rather
     than parallelism; ``cpu_count`` is recorded so trajectory numbers are
@@ -273,11 +283,13 @@ def measure_sharding(
         results = {name: engine.results(name) for name in names} if keep else {}
         return elapsed, results
 
+    transport_stats: Dict[int, Dict[str, object]] = {}
+
     def run_sharded(
         keep: bool, move: Optional[Tuple[str, int]] = None
     ) -> Tuple[float, Dict[str, List]]:
         with ShardedStreamEngine(
-            shards, placement=placement, keep_results=keep
+            shards, placement=placement, keep_results=keep, transport=transport
         ) as engine:
             for name, query, shard in entries:
                 engine.subscribe(name, query, algorithm=algorithm, shard=shard)
@@ -300,13 +312,42 @@ def measure_sharding(
             engine.flush()
             engine.synchronize()
             elapsed = time.perf_counter() - started
+            if not keep and move is None:
+                # The timing run doubles as the counter source: per-shard
+                # serialize/send (router) and deserialize (worker) totals.
+                transport_stats.update(engine.transport_stats())
             results = (
                 {name: engine.results(name) for name in names} if keep else {}
             )
         return elapsed, results
 
-    single_seconds, _ = run_single(keep=False)
-    sharded_seconds, _ = run_sharded(keep=False)
+    single_seconds = min(run_single(keep=False)[0] for _ in range(max(1, repeats)))
+    sharded_seconds = None
+    for _ in range(max(1, repeats)):
+        transport_stats.clear()
+        elapsed, _ = run_sharded(keep=False)
+        sharded_seconds = elapsed if sharded_seconds is None else min(sharded_seconds, elapsed)
+
+    def transport_breakdown() -> Dict[str, object]:
+        """Collapse the per-shard counters into the headline data-path
+        numbers: seconds spent in each stage and bytes moved per event."""
+        total = lambda key: sum(
+            float(entry.get(key, 0) or 0) for entry in transport_stats.values()
+        )
+        moved_bytes = int(total("bytes"))
+        events = int(total("objects"))
+        return {
+            "per_shard": {
+                shard: dict(entry) for shard, entry in sorted(transport_stats.items())
+            },
+            "serialize_seconds": total("encode_seconds"),
+            "transfer_seconds": total("send_seconds"),
+            "deserialize_seconds": total("decode_seconds"),
+            "batches": int(total("batches")),
+            "bytes": moved_bytes,
+            "events": events,
+            "bytes_per_event": moved_bytes / events if events else 0.0,
+        }
 
     record: Dict[str, object] = {
         "dataset": dataset,
@@ -318,6 +359,8 @@ def measure_sharding(
         "placement": placement,
         "pinned": any(shard is not None for _, _, shard in entries),
         "cpu_count": os.cpu_count(),
+        "transport": transport,
+        "transport_breakdown": transport_breakdown(),
         "single_process": {
             "seconds": single_seconds,
             "objects_per_second": len(objects) / single_seconds if single_seconds else float("inf"),

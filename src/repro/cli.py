@@ -362,6 +362,13 @@ def _configure_shard(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument("--shards", type=int, default=4, help="worker processes")
     sub.add_argument(
+        "--transport",
+        default="queue",
+        choices=("queue", "shm"),
+        help="data path to the workers: per-worker command queues, or "
+        "zero-copy shared-memory rings carrying columnar chunks",
+    )
+    sub.add_argument(
         "--queries",
         type=int,
         default=8,
@@ -408,7 +415,9 @@ def _command_shard(args: argparse.Namespace) -> int:
     stream = list(make_dataset(args.dataset).take(args.objects))
     workload = _shard_workload(args)
 
-    with ShardedStreamEngine(args.shards, placement=args.placement) as engine:
+    with ShardedStreamEngine(
+        args.shards, placement=args.placement, transport=args.transport
+    ) as engine:
         for name, query in workload:
             engine.subscribe(
                 name, query, algorithm=args.algorithm, keep_results=False
@@ -470,6 +479,13 @@ def _configure_serve(sub: argparse.ArgumentParser) -> None:
         "--shards", type=int, default=2, help="worker processes (sharded engine only)"
     )
     sub.add_argument(
+        "--transport",
+        default="queue",
+        choices=("queue", "shm"),
+        help="sharded-engine data path: command queues or shared-memory "
+        "rings (sharded engine only)",
+    )
+    sub.add_argument(
         "--max-subscriptions",
         type=int,
         default=1024,
@@ -509,6 +525,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         port=args.port,
         engine=args.engine,
         shards=args.shards,
+        transport=args.transport,
         max_subscriptions=args.max_subscriptions,
         client_queue=args.client_queue,
         slow_client=args.slow_client,

@@ -1,17 +1,30 @@
-"""The shard router: process handles, queues, fan-out, and barriers.
+"""The shard router: process handles, transports, fan-out, and barriers.
 
-:class:`ShardRouter` owns the worker processes and the two queues of each
-(commands in, replies out).  The data path is asynchronous — ``push``
-batches are enqueued to every interested shard without waiting, so all
-workers crunch in parallel — while the control path is synchronous
-request/reply.  Because one worker processes its commands strictly in
-order, a synchronous request also acts as a barrier for everything queued
-to that shard before it; :meth:`barrier` exploits this to drain the whole
-cluster before operations that need a consistent cut (stats, flush,
-rebalance, close).
+:class:`ShardRouter` owns the worker processes and two paths into each:
+
+* the **data path** — asynchronous ``push`` batches, fanned out to every
+  interested shard without waiting so all workers crunch in parallel.  The
+  chunk is packed once into :func:`~repro.core.columnar.encode_chunk`
+  bytes and then either enqueued on the worker's ``mp.Queue`` (the
+  ``queue`` transport) or written into its shared-memory ring (the ``shm``
+  transport, :mod:`repro.cluster.shm`) — the latter skips the queue's
+  feeder-thread pickle and pipe copy entirely.
+* the **control path** — synchronous request/reply over ``mp.Queue`` in
+  both transports.  Because one worker processes its commands strictly in
+  order, a synchronous request also acts as a barrier for everything
+  queued to that shard before it; :meth:`barrier` exploits this to drain
+  the whole cluster before operations that need a consistent cut (stats,
+  flush, rebalance, close).  Under the shm transport the data no longer
+  shares the queue's FIFO, so every control message carries a *fence* —
+  the count of data chunks sent so far — and the worker drains its ring up
+  to that fence before executing the command, restoring the exact
+  data/control ordering of the queue transport.
 
 Bounded command queues give natural backpressure: a producer that outruns
-the workers blocks on ``put`` instead of buffering the stream in memory.
+the workers blocks on ``put`` (with exponential backoff) instead of
+buffering the stream in memory, and surfaces a typed
+:class:`ShardBackpressureError` naming the shard when the stall exceeds
+the configured budget.
 """
 
 from __future__ import annotations
@@ -19,10 +32,12 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from queue import Empty, Full
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.columnar import encode_chunk
 from ..core.exceptions import ReproError
 from ..core.state import dumps
+from .shm import RingTimeout, ShmRing
 from .worker import shard_worker_main
 
 #: Command-queue depth per worker.  Small on purpose: each entry can carry
@@ -30,30 +45,102 @@ from .worker import shard_worker_main
 #: busy while bounding the in-flight stream to O(depth * chunk).
 DEFAULT_QUEUE_DEPTH = 8
 
-#: How long :meth:`ShardRouter.request` waits between liveness checks of a
-#: worker that has not replied yet.
+#: Upper bound of the poll interval used while waiting on replies and on
+#: backpressured puts; both waits start small and back off exponentially
+#: to this cap, so failures surface fast without busy-spinning.
 REPLY_POLL_SECONDS = 1.0
+_POLL_MIN_SECONDS = 0.005
+
+#: How long a producer may stay blocked on one shard's full command queue
+#: (or full ring) before the stall is reported as backpressure.
+DEFAULT_BACKPRESSURE_TIMEOUT = 30.0
+
+#: The data-path transports :class:`ShardRouter` can run on.
+TRANSPORTS = ("queue", "shm")
 
 
 class ShardError(ReproError):
     """A shard worker failed or died; carries the remote traceback."""
 
 
+class ShardBackpressureError(ShardError):
+    """A shard's inbound path stayed full past the backpressure budget.
+
+    Distinct from a generic :class:`ShardError` so callers can react to
+    overload (shed load, widen the cluster, slow the producer) differently
+    from worker death; ``shard_id`` names the congested shard.
+    """
+
+    def __init__(self, message: str, shard_id: int) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class _TransportCounters:
+    """Router-side per-shard accounting of the data path."""
+
+    __slots__ = ("encode_seconds", "send_seconds", "bytes", "batches", "objects")
+
+    def __init__(self) -> None:
+        self.encode_seconds = 0.0
+        self.send_seconds = 0.0
+        self.bytes = 0
+        self.batches = 0
+        self.objects = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "encode_seconds": self.encode_seconds,
+            "send_seconds": self.send_seconds,
+            "bytes": self.bytes,
+            "batches": self.batches,
+            "objects": self.objects,
+        }
+
+
 class _ShardHandle:
-    """One worker process plus its queues and liveness state."""
+    """One worker process plus its queues, ring, and liveness state."""
 
-    __slots__ = ("shard_id", "process", "commands", "replies")
+    __slots__ = (
+        "shard_id",
+        "process",
+        "commands",
+        "replies",
+        "ring",
+        "doorbell",
+        "sent_chunks",
+        "counters",
+    )
 
-    def __init__(self, shard_id: int, ctx, queue_depth: int) -> None:
+    def __init__(
+        self, shard_id: int, ctx, queue_depth: int, ring: Optional[ShmRing]
+    ) -> None:
         self.shard_id = shard_id
         self.commands = ctx.Queue(maxsize=queue_depth)
         self.replies = ctx.Queue()
+        self.ring = ring
+        # The ring itself is pure shared memory with no wakeup primitive;
+        # the doorbell (a futex-backed semaphore, released once per send)
+        # is what lets an idle worker block instead of sleep-polling.
+        self.doorbell = ctx.Semaphore(0) if ring is not None else None
+        self.sent_chunks = 0
+        self.counters = _TransportCounters()
         self.process = ctx.Process(
             target=shard_worker_main,
             args=(shard_id, self.commands, self.replies),
+            kwargs={
+                "ring_name": ring.name if ring is not None else None,
+                "doorbell": self.doorbell,
+            },
             name=f"repro-shard-{shard_id}",
             daemon=True,
         )
+
+    def ding(self) -> None:
+        """Wake the worker: one release per ring message or fenced
+        control message (a pure hint — spurious wakeups are harmless)."""
+        if self.doorbell is not None:
+            self.doorbell.release()
 
 
 class ShardRouter:
@@ -66,11 +153,17 @@ class ShardRouter:
         start_method: Optional[str] = None,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         reply_timeout: Optional[float] = None,
+        transport: str = "queue",
+        backpressure_timeout: Optional[float] = DEFAULT_BACKPRESSURE_TIMEOUT,
+        ring_slots: Optional[int] = None,
+        ring_slot_size: Optional[int] = None,
     ) -> None:
         if shard_count < 1:
             raise ValueError(f"shard_count must be positive, got {shard_count}")
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
         # ``fork`` starts workers in milliseconds and is the Linux default;
         # ``spawn`` works too (the worker entry point is importable) and is
         # the fallback where fork is unavailable.
@@ -80,8 +173,21 @@ class ShardRouter:
         self._ctx = mp.get_context(start_method)
         self.start_method = start_method
         self.reply_timeout = reply_timeout
+        self.transport = transport
+        self.backpressure_timeout = backpressure_timeout
+        rings: List[Optional[ShmRing]] = []
+        for _ in range(shard_count):
+            if transport == "shm":
+                kwargs = {}
+                if ring_slots is not None:
+                    kwargs["slots"] = ring_slots
+                if ring_slot_size is not None:
+                    kwargs["slot_size"] = ring_slot_size
+                rings.append(ShmRing.create(**kwargs))
+            else:
+                rings.append(None)
         self._shards: List[_ShardHandle] = [
-            _ShardHandle(shard_id, self._ctx, queue_depth)
+            _ShardHandle(shard_id, self._ctx, queue_depth, rings[shard_id])
             for shard_id in range(shard_count)
         ]
         for shard in self._shards:
@@ -104,12 +210,20 @@ class ShardRouter:
             ) from None
 
     def _put(self, shard: _ShardHandle, message: Tuple) -> None:
-        """Enqueue one command with backpressure *and* a liveness check:
-        a worker that died with a full command queue must surface as a
-        :class:`ShardError` instead of blocking the producer forever."""
+        """Enqueue one command with backpressure, bounded backoff, *and* a
+        liveness check: a worker that died with a full command queue must
+        surface as a :class:`ShardError` instead of blocking the producer
+        forever, and a healthy-but-stalled queue must surface as
+        :class:`ShardBackpressureError` once the budget is spent."""
+        deadline = (
+            time.monotonic() + self.backpressure_timeout
+            if self.backpressure_timeout is not None
+            else None
+        )
+        delay = _POLL_MIN_SECONDS
         while True:
             try:
-                shard.commands.put(message, timeout=REPLY_POLL_SECONDS)
+                shard.commands.put(message, timeout=delay)
                 return
             except Full:
                 if not shard.process.is_alive():
@@ -117,19 +231,76 @@ class ShardRouter:
                         f"shard {shard.shard_id} died (exit code "
                         f"{shard.process.exitcode}) with a full command queue"
                     ) from None
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ShardBackpressureError(
+                        f"shard {shard.shard_id} command queue stayed full for "
+                        f"{self.backpressure_timeout}s (backpressure)",
+                        shard_id=shard.shard_id,
+                    ) from None
+                delay = min(delay * 2, REPLY_POLL_SECONDS)
 
     # ------------------------------------------------------------------
     # Data path (asynchronous)
     # ------------------------------------------------------------------
     def send(self, shard_id: int, message: Tuple) -> None:
         """Enqueue a fire-and-forget command (blocks on backpressure)."""
-        self._put(self._handle(shard_id), message)
+        self._put_control(self._handle(shard_id), message)
 
     def push_chunk(self, chunk: Sequence, shard_ids: Sequence[int]) -> None:
-        """Fan one slide-aligned chunk out to the given shards."""
-        message = ("push", chunk)
-        for shard_id in shard_ids:
-            self._put(self._handle(shard_id), message)
+        """Fan one slide-aligned chunk out to the given shards.
+
+        The chunk is packed once into columnar wire bytes; each shard then
+        receives the same immutable payload over its transport.
+        """
+        targets = [self._handle(shard_id) for shard_id in shard_ids]
+        if not targets:
+            return
+        started = time.perf_counter()
+        payload = encode_chunk(chunk)
+        encode_seconds = time.perf_counter() - started
+        size = len(payload)
+        count = len(chunk)
+        for shard in targets:
+            counters = shard.counters
+            counters.encode_seconds += encode_seconds / len(targets)
+            counters.bytes += size
+            counters.batches += 1
+            counters.objects += count
+            started = time.perf_counter()
+            if shard.ring is not None:
+                self._ring_send(shard, payload)
+            else:
+                self._put(shard, ("push", payload))
+            counters.send_seconds += time.perf_counter() - started
+            shard.sent_chunks += 1
+
+    def _ring_send(self, shard: _ShardHandle, payload: bytes) -> None:
+        try:
+            shard.ring.send(
+                payload,
+                timeout=self.backpressure_timeout,
+                should_abort=lambda: not shard.process.is_alive(),
+            )
+            shard.ding()
+        except RingTimeout:
+            raise ShardBackpressureError(
+                f"shard {shard.shard_id} ring stayed full for "
+                f"{self.backpressure_timeout}s (backpressure)",
+                shard_id=shard.shard_id,
+            ) from None
+        except Exception as exc:
+            if not shard.process.is_alive():
+                raise ShardError(
+                    f"shard {shard.shard_id} died (exit code "
+                    f"{shard.process.exitcode}) while receiving a chunk"
+                ) from None
+            raise ShardError(
+                f"shard {shard.shard_id} ring send failed: {exc}"
+            ) from exc
+
+    def transport_stats(self) -> Dict[int, Dict[str, float]]:
+        """Router-side data-path counters, keyed by shard id."""
+        return {shard.shard_id: shard.counters.as_dict() for shard in self._shards}
 
     # ------------------------------------------------------------------
     # Control path (synchronous request/reply)
@@ -143,11 +314,19 @@ class ShardRouter:
         otherwise never reach the worker, and the caller would block
         forever waiting for a reply that cannot come.  Failing here turns
         that silent hang into a clear :class:`StateSerializationError`.
-        The data path skips this check (chunks of plain
-        :class:`StreamObject`; double-pickling every chunk would dominate
-        the fan-out cost)."""
+        The data path skips this check (chunks travel as already-encoded
+        bytes; double-pickling every chunk would dominate the fan-out
+        cost)."""
         dumps(message)
         return message
+
+    def _put_control(self, shard: _ShardHandle, message: Tuple) -> None:
+        """Send a control message, fenced behind the shard's data stream
+        when the data rides a separate ring."""
+        if shard.ring is not None:
+            message = ("fence", shard.sent_chunks, message)
+        self._put(shard, message)
+        shard.ding()
 
     def request(self, shard_id: int, message: Tuple):
         """Send a synchronous command and return its payload.
@@ -158,7 +337,7 @@ class ShardRouter:
         message itself cannot cross the process boundary.
         """
         shard = self._handle(shard_id)
-        self._put(shard, self._checked(message))
+        self._put_control(shard, self._checked(message))
         return self._await_reply(shard, message[0])
 
     def broadcast(self, message: Tuple, shard_ids: Optional[Sequence[int]] = None):
@@ -176,7 +355,7 @@ class ShardRouter:
         targets = [self._handle(s) for s in (shard_ids if shard_ids is not None else self.shard_ids())]
         message = self._checked(message)
         for shard in targets:
-            self._put(shard, message)
+            self._put_control(shard, message)
         payloads = []
         first_error: Optional[ShardError] = None
         for shard in targets:
@@ -201,9 +380,13 @@ class ShardRouter:
             if self.reply_timeout is not None
             else None
         )
+        # Escalating poll: short waits right after the send (replies to
+        # cheap ops arrive in microseconds), backing off to
+        # REPLY_POLL_SECONDS between liveness checks of a slow worker.
+        poll = _POLL_MIN_SECONDS
         while True:
             try:
-                status, payload = shard.replies.get(timeout=REPLY_POLL_SECONDS)
+                status, payload = shard.replies.get(timeout=poll)
             except Empty:
                 if not shard.process.is_alive():
                     raise ShardError(
@@ -215,6 +398,7 @@ class ShardRouter:
                         f"shard {shard.shard_id} did not reply to {op!r} "
                         f"within {self.reply_timeout}s"
                     ) from None
+                poll = min(poll * 2, REPLY_POLL_SECONDS)
                 continue
             if status == "err":
                 raise ShardError(f"shard {shard.shard_id} {op!r} failed: {payload}")
@@ -233,6 +417,7 @@ class ShardRouter:
                 # Bounded: a dead worker with a full queue must not hang
                 # shutdown; terminate() below reaps it regardless.
                 shard.commands.put(("stop",), timeout=1.0)
+                shard.ding()
             except Exception:
                 pass
         for shard in self._shards:
@@ -247,6 +432,8 @@ class ShardRouter:
                     queue.cancel_join_thread()
                 except Exception:
                     pass
+            if shard.ring is not None:
+                shard.ring.unlink()
 
     def __del__(self):  # pragma: no cover - GC safety net
         try:

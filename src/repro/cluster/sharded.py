@@ -51,7 +51,12 @@ from ..core.state import dumps
 from ..engine.spec import QuerySpec, resolve_query
 from .merge import AggregatedKnowledge, merge_disjoint, merged_latency_stats
 from .placement import PlacementPolicy, make_placement
-from .router import DEFAULT_QUEUE_DEPTH, ShardError, ShardRouter
+from .router import (
+    DEFAULT_BACKPRESSURE_TIMEOUT,
+    DEFAULT_QUEUE_DEPTH,
+    ShardError,
+    ShardRouter,
+)
 
 #: Requested fan-out chunk size (objects per router dispatch).  The actual
 #: chunk is the nearest slide-aligned size (see ``_aligned_chunk``); large
@@ -121,6 +126,8 @@ class ShardedStreamEngine:
         start_method: Optional[str] = None,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         reply_timeout: Optional[float] = None,
+        transport: str = "queue",
+        backpressure_timeout: Optional[float] = DEFAULT_BACKPRESSURE_TIMEOUT,
     ) -> None:
         """``shards`` worker processes are started immediately.
 
@@ -130,13 +137,20 @@ class ShardedStreamEngine:
         ``keep_results`` is the default retention policy of new
         subscriptions; ``start_method``/``queue_depth``/``reply_timeout``
         tune the worker pool (defaults: platform fork, depth 8, wait
-        forever).
+        forever).  ``transport`` picks the data path: ``"queue"`` moves
+        chunks over each worker's command queue, ``"shm"`` over a
+        shared-memory ring (:mod:`repro.cluster.shm`); answers are
+        byte-identical either way.  ``backpressure_timeout`` bounds how
+        long a push may stall on one congested shard before raising
+        :class:`~repro.cluster.router.ShardBackpressureError`.
         """
         self._router = ShardRouter(
             shards,
             start_method=start_method,
             queue_depth=queue_depth,
             reply_timeout=reply_timeout,
+            transport=transport,
+            backpressure_timeout=backpressure_timeout,
         )
         self._placement = make_placement(placement)
         self._chunk_size = chunk_size
@@ -447,6 +461,25 @@ class ShardedStreamEngine:
         average of per-shard percentiles)."""
         self._ensure_open()
         return merged_latency_stats(self._router.broadcast(("telemetry",)))
+
+    @property
+    def transport(self) -> str:
+        """The data-path transport of the router (``queue`` or ``shm``)."""
+        return self._router.transport
+
+    def transport_stats(self) -> Dict[int, Dict[str, object]]:
+        """Per-shard data-path breakdown, keyed by shard id: the router's
+        serialize/send counters merged with the worker's deserialize
+        counters (one cluster-wide barrier)."""
+        self._ensure_open()
+        merged: Dict[int, Dict[str, object]] = {}
+        router_side = self._router.transport_stats()
+        worker_side = self._router.broadcast(("transport_stats",))
+        for shard_id, record in zip(self._router.shard_ids(), worker_side):
+            entry = dict(router_side.get(shard_id, {}))
+            entry.update(record or {})
+            merged[shard_id] = entry
+        return merged
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Point-in-time state of every subscription, keyed by name."""

@@ -1,0 +1,295 @@
+"""Shared-memory ring transport for the shard data path.
+
+The queue transport moves every chunk through ``mp.Queue`` — a pickle in
+the feeder thread, a pipe write, a pipe read, an unpickle.  This module
+replaces that hot path with a fixed-slot single-producer/single-consumer
+ring over :mod:`multiprocessing.shared_memory`: the router packs a chunk
+into :func:`~repro.core.columnar.encode_chunk` bytes and memcpy's it into
+the ring; the worker memcpy's it out and rebuilds the column block.  No
+interpreter touches the bytes in between.
+
+Handshake (seqlock-flavoured, no locks): every slot carries one ``state``
+byte — ``FREE`` or ``FULL``.  The producer spins (with exponential backoff)
+for ``FREE``, writes payload then length then flags, and flips the state to
+``FULL`` last; the consumer mirrors this.  Slots are claimed in fixed
+circular order by both sides, so a single byte per slot is the entire
+protocol — exactly the store-release/load-acquire pairing a futex-based
+ring would use, minus the wakeup syscall (waits are micro-sleeps instead).
+
+Messages larger than one slot span consecutive slots (``MORE`` flag on all
+but the last); a message larger than the whole ring is rejected at
+construction time by sizing, and at send time with :class:`RingMessageTooLarge`.
+
+Wraparound under slot exhaustion is the normal regime, not an edge case:
+with ``slots * slot_size`` of buffer and a producer faster than the
+consumer, every send eventually waits on the oldest slot — that wait *is*
+the transport's backpressure, surfaced to the caller through the
+``timeout`` / ``should_abort`` hooks of :meth:`ShmRing.send`.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import resource_tracker, shared_memory
+from typing import Callable, Optional
+
+#: Per-slot header: state u8, flags u8, pad u16, payload length u32.
+_SLOT_HEADER = struct.Struct("<BBHI")
+_FREE = 0
+_FULL = 1
+_FLAG_MORE = 1
+
+#: Ring header: magic u32, version u16, pad u16, slots u32, slot size u32.
+_RING_HEADER = struct.Struct("<IHHII")
+_RING_MAGIC = 0x52_49_4E_47  # "RING"
+_RING_VERSION = 1
+
+#: Defaults sized for the sharded plane: 32 slots x 128 KiB = 4 MiB per
+#: shard, holding ~8 maximum-size slide-aligned chunks in flight.
+DEFAULT_SLOTS = 32
+DEFAULT_SLOT_SIZE = 128 * 1024
+
+#: Spin backoff bounds of the state-byte handshake.
+_SPIN_MIN = 0.000001
+_SPIN_MAX = 0.002
+
+
+class RingError(RuntimeError):
+    """Base error of the shm ring transport."""
+
+
+class RingMessageTooLarge(RingError):
+    """The payload cannot fit in the ring even when fully drained."""
+
+
+class RingTimeout(RingError):
+    """A send/recv wait exceeded its deadline."""
+
+
+class RingClosed(RingError):
+    """The peer vanished (``should_abort`` fired) during a wait."""
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without re-registering it with the
+    resource tracker.  The creator owns the unlink; a second registration
+    (tracker processes are shared across fork) would make the tracker
+    unlink the segment twice and log spurious KeyErrors at shutdown.
+    Python < 3.13 has no ``track=False``, so registration is suppressed for
+    the duration of the attach instead."""
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class ShmRing:
+    """Fixed-slot SPSC byte ring in one shared-memory segment.
+
+    Exactly one process calls :meth:`send` and exactly one calls
+    :meth:`recv`; both walk the slots in the same circular order, so the
+    per-slot state byte is the only synchronisation needed.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        slots: int,
+        slot_size: int,
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self._buffer = segment.buf
+        self.slots = slots
+        self.slot_size = slot_size
+        self._payload_size = slot_size - _SLOT_HEADER.size
+        self._owner = owner
+        self._write_slot = 0
+        self._read_slot = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, slots: int = DEFAULT_SLOTS, slot_size: int = DEFAULT_SLOT_SIZE
+    ) -> "ShmRing":
+        if slots < 2:
+            raise ValueError(f"a ring needs at least 2 slots, got {slots}")
+        if slot_size <= _SLOT_HEADER.size:
+            raise ValueError(f"slot_size must exceed {_SLOT_HEADER.size}, got {slot_size}")
+        size = _RING_HEADER.size + slots * slot_size
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        _RING_HEADER.pack_into(
+            segment.buf, 0, _RING_MAGIC, _RING_VERSION, 0, slots, slot_size
+        )
+        # Slot states start as FREE (fresh segments are zero-filled).
+        return cls(segment, slots, slot_size, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        segment = _attach(name)
+        magic, version, _, slots, slot_size = _RING_HEADER.unpack_from(segment.buf, 0)
+        if magic != _RING_MAGIC:
+            raise RingError(f"segment {name!r} is not a repro ring")
+        if version != _RING_VERSION:
+            raise RingError(f"ring {name!r} has unsupported version {version}")
+        return cls(segment, slots, slot_size, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def capacity(self) -> int:
+        """Largest payload a single message can carry."""
+        return self.slots * self._payload_size
+
+    # ------------------------------------------------------------------
+    def _slot_offset(self, slot: int) -> int:
+        return _RING_HEADER.size + slot * self.slot_size
+
+    def _wait_state(
+        self,
+        slot: int,
+        wanted: int,
+        timeout: Optional[float],
+        should_abort: Optional[Callable[[], bool]],
+        poll: bool,
+    ) -> bool:
+        """Spin until ``slot`` reaches ``wanted`` state.  Returns False on a
+        ``poll`` (non-blocking) miss; raises on timeout/abort otherwise."""
+        buffer = self._buffer
+        offset = self._slot_offset(slot)
+        if buffer[offset] == wanted:
+            return True
+        if poll:
+            return False
+        deadline = None if timeout is None else time.monotonic() + timeout
+        delay = _SPIN_MIN
+        while True:
+            time.sleep(delay)
+            if buffer[offset] == wanted:
+                return True
+            if should_abort is not None and should_abort():
+                raise RingClosed("ring peer vanished while waiting")
+            if deadline is not None and time.monotonic() > deadline:
+                raise RingTimeout(
+                    f"slot {slot} did not become "
+                    f"{'free' if wanted == _FREE else 'full'} within {timeout}s"
+                )
+            delay = min(delay * 2, _SPIN_MAX)
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        payload: bytes,
+        timeout: Optional[float] = None,
+        should_abort: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Write one message, spanning as many slots as needed.
+
+        Blocks (backpressure) while the consumer still owns the slots;
+        ``timeout`` bounds the wait per slot and ``should_abort`` is polled
+        during it so a dead consumer cannot hang the producer forever.
+        """
+        if self._closed:
+            raise RingClosed("ring is closed")
+        view = memoryview(payload)
+        total = len(view)
+        if total > self.capacity:
+            raise RingMessageTooLarge(
+                f"message of {total} bytes exceeds ring capacity {self.capacity}"
+            )
+        buffer = self._buffer
+        position = 0
+        while True:
+            slot = self._write_slot
+            offset = self._slot_offset(slot)
+            self._wait_state(slot, _FREE, timeout, should_abort, poll=False)
+            take = min(self._payload_size, total - position)
+            end = position + take
+            more = _FLAG_MORE if end < total else 0
+            data_at = offset + _SLOT_HEADER.size
+            buffer[data_at : data_at + take] = view[position:end]
+            _SLOT_HEADER.pack_into(buffer, offset, _FREE, more, 0, take)
+            # Publish last: the consumer reads nothing until the state byte
+            # flips, and CPython's memoryview stores are immediate.
+            buffer[offset] = _FULL
+            self._write_slot = (slot + 1) % self.slots
+            position = end
+            if not more:
+                return
+
+    def recv(
+        self,
+        timeout: Optional[float] = None,
+        should_abort: Optional[Callable[[], bool]] = None,
+    ) -> bytes:
+        """Read one (possibly slot-spanning) message, blocking."""
+        message = self._recv(timeout, should_abort, poll=False)
+        assert message is not None
+        return message
+
+    def try_recv(self) -> Optional[bytes]:
+        """Read one message if its first slot is already full, else None."""
+        return self._recv(None, None, poll=True)
+
+    def _recv(
+        self,
+        timeout: Optional[float],
+        should_abort: Optional[Callable[[], bool]],
+        poll: bool,
+    ) -> Optional[bytes]:
+        if self._closed:
+            raise RingClosed("ring is closed")
+        buffer = self._buffer
+        parts = []
+        first = True
+        while True:
+            slot = self._read_slot
+            offset = self._slot_offset(slot)
+            if not self._wait_state(
+                slot, _FULL, timeout, should_abort, poll=poll and first
+            ):
+                return None
+            _, flags, _, length = _SLOT_HEADER.unpack_from(buffer, offset)
+            data_at = offset + _SLOT_HEADER.size
+            parts.append(bytes(buffer[data_at : data_at + length]))
+            buffer[offset] = _FREE
+            self._read_slot = (slot + 1) % self.slots
+            first = False
+            if not flags & _FLAG_MORE:
+                break
+        return parts[0] if len(parts) == 1 else b"".join(parts)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the segment (both sides); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._buffer = None
+        try:
+            self._segment.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side only); idempotent."""
+        self.close()
+        if not self._owner:
+            return
+        self._owner = False
+        try:
+            self._segment.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.unlink() if self._owner else self.close()
+        except Exception:
+            pass

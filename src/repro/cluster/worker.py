@@ -17,10 +17,13 @@ cannot disappear just because nobody was waiting.
 
 from __future__ import annotations
 
+import time
 import traceback
+from queue import Empty
 from typing import Dict, Optional
 
 from ..control import AdaptiveController
+from ..core.columnar import decode_chunk
 from ..engine import StreamEngine
 
 #: Opcodes that reply on the worker's reply queue.  ``push`` and ``stop``
@@ -38,6 +41,7 @@ SYNC_OPS = frozenset(
         "stats_one",
         "snapshot_one",
         "telemetry",
+        "transport_stats",
         "snapshot",
         "groups",
         "capture",
@@ -49,14 +53,46 @@ SYNC_OPS = frozenset(
     }
 )
 
+#: Idle wait of the shm-transport worker loop.  The router rings the
+#: doorbell after every ring message and fenced control message, so this
+#: bound is only the re-check cadence for paths that bypass the doorbell
+#: (a racing shutdown, a peer that died without ringing).
+_IDLE_WAIT = 0.05
 
-def shard_worker_main(shard_id: int, commands, replies) -> None:
+#: How long a fence may wait on ring data the router claims to have sent.
+_FENCE_TIMEOUT = 60.0
+
+
+def shard_worker_main(
+    shard_id: int,
+    commands,
+    replies,
+    ring_name: Optional[str] = None,
+    doorbell=None,
+) -> None:
     """Entry point of a worker process (module-level so every
-    multiprocessing start method can import it)."""
+    multiprocessing start method can import it).  ``ring_name`` attaches
+    the shared-memory data ring of the shm transport; without it the data
+    path arrives on ``commands`` like every control message.  ``doorbell``
+    is the router's wakeup semaphore for the ring: released once per sent
+    message, acquired here as a hint (never a count) of pending work."""
     engine = StreamEngine(keep_results=True, return_results=True)
     controller: Optional[AdaptiveController] = None
     pushed = 0
     failure: Optional[str] = None
+
+    ring = None
+    if ring_name is not None:
+        from .shm import ShmRing
+
+        ring = ShmRing.attach(ring_name)
+    consumed_chunks = 0
+    decode_stats = {
+        "decode_seconds": 0.0,
+        "decode_bytes": 0,
+        "decoded_batches": 0,
+        "decoded_objects": 0,
+    }
 
     def telemetry() -> Dict[str, Dict[str, object]]:
         """Per-subscription statistics plus the raw bounded latency sample,
@@ -72,9 +108,94 @@ def shard_worker_main(shard_id: int, commands, replies) -> None:
             }
         return record
 
+    def handle_push(payload) -> None:
+        """Apply one data chunk — encoded wire bytes (both transports) or
+        a legacy list of objects — latching any failure for the next
+        synchronous opcode."""
+        nonlocal pushed, failure
+        if failure is not None:
+            return  # the shard is broken; drop data, keep the error
+        try:
+            if isinstance(payload, (bytes, bytearray, memoryview)):
+                started = time.perf_counter()
+                objects, block = decode_chunk(payload, materialize=False)
+                decode_stats["decode_seconds"] += time.perf_counter() - started
+                decode_stats["decode_bytes"] += len(payload)
+                decode_stats["decoded_batches"] += 1
+                decode_stats["decoded_objects"] += len(block) if block is not None else len(objects)
+                # The router pre-chunks to slide-aligned sizes; a columnar
+                # chunk moves through each query group in block form.
+                if block is not None:
+                    pushed += engine.push_block(block)
+                else:
+                    pushed += engine.push_many(objects, chunk_size=max(1, len(objects)))
+            else:
+                pushed += engine.push_many(payload, chunk_size=max(1, len(payload)))
+        except BaseException:
+            failure = traceback.format_exc()
+
+    def drain_ring_to(target: int) -> None:
+        """Consume ring chunks until ``target`` have been seen (the fence
+        of a control message: the router sent them all before the fence,
+        so they are guaranteed to arrive)."""
+        nonlocal consumed_chunks, failure
+        while consumed_chunks < target:
+            try:
+                payload = ring.recv(timeout=_FENCE_TIMEOUT)
+            except BaseException:
+                if failure is None:
+                    failure = traceback.format_exc()
+                return
+            consumed_chunks += 1
+            handle_push(payload)
+
+    rung = False  # a doorbell token was consumed but its message not yet seen
     while True:
-        message = commands.get()
+        if ring is not None:
+            # Consume stale doorbell tokens *before* draining, so a token
+            # can never be eaten for a message that is then left behind:
+            # any message sent after this drain has its own fresh token.
+            if doorbell is not None:
+                while doorbell.acquire(False):
+                    rung = True
+            # Drain whatever data is already in the ring before checking
+            # for control messages; data dominates, control is rare.
+            drained = False
+            while True:
+                payload = ring.try_recv()
+                if payload is None:
+                    break
+                consumed_chunks += 1
+                handle_push(payload)
+                drained = True
+            try:
+                message = commands.get_nowait()
+            except Empty:
+                if drained:
+                    rung = False
+                elif rung:
+                    # The ding beat its message here (mp.Queue puts land
+                    # via a feeder thread); it is imminent — take a micro
+                    # nap instead of a full idle block.
+                    time.sleep(0.0005)
+                elif doorbell is not None:
+                    # Fully idle: block on the doorbell (instant wakeup on
+                    # the next send), bounded as a liveness re-check.
+                    rung = doorbell.acquire(True, _IDLE_WAIT)
+                else:
+                    time.sleep(_IDLE_WAIT)
+                continue
+            rung = False
+        else:
+            message = commands.get()
         op = message[0]
+        if op == "fence":
+            # Control messages are fenced behind the data stream: catch the
+            # ring up to the send count, then execute the inner command.
+            _, target, message = message
+            if ring is not None:
+                drain_ring_to(target)
+            op = message[0]
         if op == "stop":
             # Reap the engine on the way out so a worker stopped without a
             # prior "close" (e.g. best-effort facade shutdown after a
@@ -83,18 +204,11 @@ def shard_worker_main(shard_id: int, commands, replies) -> None:
                 engine.close()
             except BaseException:
                 pass
+            if ring is not None:
+                ring.close()
             break
         if op == "push":
-            if failure is not None:
-                continue  # the shard is broken; drop data, keep the error
-            try:
-                batch = message[1]
-                # The router pre-chunks to slide-aligned sizes; move the
-                # whole batch through each query group with one call.
-                engine.push_many(batch, chunk_size=max(1, len(batch)))
-                pushed += len(batch)
-            except BaseException:
-                failure = traceback.format_exc()
+            handle_push(message[1])
             continue
 
         # Synchronous opcodes.  SYNC_OPS is the contract: anything else is
@@ -153,6 +267,13 @@ def shard_worker_main(shard_id: int, commands, replies) -> None:
                 payload = engine.subscription(message[1]).snapshot()
             elif op == "telemetry":
                 payload = telemetry()
+            elif op == "transport_stats":
+                payload = {
+                    "shard": shard_id,
+                    "transport": "shm" if ring is not None else "queue",
+                    "chunks": consumed_chunks if ring is not None else decode_stats["decoded_batches"],
+                    **decode_stats,
+                }
             elif op == "snapshot":
                 payload = engine.snapshot()
             elif op == "groups":

@@ -10,14 +10,22 @@ reaches ``k`` are removed — they can never become results again.
 The class below implements exactly that merge, plus the order-statistic
 queries the framework needs: the group dominance number ``P_i.ρ`` and the
 global pruning threshold ``F_θ`` used by the S-AVL construction.
+
+The set is backed by a sorted key list with a parallel entry list and a
+``dict`` index rather than a balanced tree: the framework probes membership
+far more often than it hits (expiration processing checks every leaving
+object against ``C``), so the O(1) dict lookup makes the common miss free,
+and the descending merge walk degenerates to a reversed slice scan over
+contiguous lists — much cheaper constants than pointer-chasing an AVL, with
+identical ordering semantics.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..structures.avl import AVLTree
 from .object import StreamObject
 
 RankKey = Tuple[float, int]
@@ -40,38 +48,50 @@ class CandidateSet:
     """Ordered collection of candidate objects keyed by ``(score, t)``."""
 
     def __init__(self) -> None:
-        self._tree = AVLTree()
+        #: Keys in ascending rank order, with the entries kept in lockstep.
+        self._keys: List[RankKey] = []
+        self._entries: List[CandidateEntry] = []
+        self._index: Dict[RankKey, CandidateEntry] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._tree)
+        return len(self._keys)
 
     def __contains__(self, rank_key: RankKey) -> bool:
-        return rank_key in self._tree
+        return rank_key in self._index
 
     def get(self, rank_key: RankKey) -> Optional[CandidateEntry]:
-        return self._tree.get(rank_key)
+        return self._index.get(rank_key)
 
     def iter_descending(self) -> Iterator[CandidateEntry]:
-        for _, entry in self._tree.items_descending():
-            yield entry
+        return reversed(self._entries)
 
     def entries(self) -> List[CandidateEntry]:
-        return [entry for _, entry in self._tree.items()]
+        return list(self._entries)
 
     # ------------------------------------------------------------------
     def add(self, obj: StreamObject, partition_id: int, dominance: int = 0) -> CandidateEntry:
         """Insert a candidate (used for promotions from the S-AVL)."""
         entry = CandidateEntry(obj=obj, partition_id=partition_id, dominance=dominance)
-        self._tree.insert(obj.rank_key, entry)
+        key = obj.rank_key
+        if key in self._index:
+            position = bisect_left(self._keys, key)
+            self._entries[position] = entry
+        else:
+            position = bisect_left(self._keys, key)
+            self._keys.insert(position, key)
+            self._entries.insert(position, entry)
+        self._index[key] = entry
         return entry
 
     def remove(self, rank_key: RankKey) -> Optional[CandidateEntry]:
         """Remove and return the entry with this key, if present."""
-        entry = self._tree.get(rank_key)
+        entry = self._index.pop(rank_key, None)
         if entry is None:
             return None
-        self._tree.remove(rank_key)
+        position = bisect_left(self._keys, rank_key)
+        del self._keys[position]
+        del self._entries[position]
         return entry
 
     # ------------------------------------------------------------------
@@ -88,27 +108,35 @@ class CandidateSet:
         (nothing newer exists yet).
         """
         removed: List[CandidateEntry] = []
-        if new_objects:
-            ordered_new = sorted(new_objects, key=lambda o: o.rank_key, reverse=True)
-            to_delete: List[RankKey] = []
-            new_index = 0
-            seen_new = 0
-            for key, entry in self._tree.items_descending():
-                while new_index < len(ordered_new) and ordered_new[new_index].rank_key > key:
-                    seen_new += 1
-                    new_index += 1
-                if seen_new == 0:
-                    continue
-                entry.dominance += seen_new
-                if entry.dominance >= k:
-                    to_delete.append(key)
-            for key in to_delete:
-                entry = self._tree.get(key)
-                if entry is not None:
-                    removed.append(entry)
-                    self._tree.remove(key)
-            for obj in ordered_new:
-                self.add(obj, partition_id=partition_id, dominance=0)
+        if not new_objects:
+            return removed
+        ordered_new = sorted(new_objects, key=lambda o: o.rank_key, reverse=True)
+        keys = self._keys
+        entries = self._entries
+        to_delete: List[int] = []
+        new_index = 0
+        seen_new = 0
+        # Walk existing candidates best-first; the dominance increment for a
+        # candidate is the count of new objects ranking above it.
+        for position in range(len(keys) - 1, -1, -1):
+            key = keys[position]
+            while new_index < len(ordered_new) and ordered_new[new_index].rank_key > key:
+                seen_new += 1
+                new_index += 1
+            if seen_new == 0:
+                continue
+            entry = entries[position]
+            entry.dominance += seen_new
+            if entry.dominance >= k:
+                to_delete.append(position)
+        # Positions were collected high-to-low, so in-place deletion is safe.
+        for position in to_delete:
+            removed.append(entries[position])
+            del self._index[keys[position]]
+            del keys[position]
+            del entries[position]
+        for obj in ordered_new:
+            self.add(obj, partition_id=partition_id, dominance=0)
         return removed
 
     # ------------------------------------------------------------------
@@ -116,12 +144,9 @@ class CandidateSet:
     # ------------------------------------------------------------------
     def top_entries(self, count: int) -> List[CandidateEntry]:
         """The ``count`` best candidates, best first."""
-        result: List[CandidateEntry] = []
-        for entry in self.iter_descending():
-            if len(result) >= count:
-                break
-            result.append(entry)
-        return result
+        if count <= 0:
+            return []
+        return self._entries[-count:][::-1]
 
     def top_scores(self, count: int) -> List[float]:
         """Scores of the best ``count`` candidates (for the WRT evaluation)."""
@@ -148,11 +173,10 @@ class CandidateSet:
         the window before ``P_1`` does.
         """
         excluded = set(exclude_partition_ids)
+        start = bisect_right(self._keys, kth_key)
         count = 0
-        for key, entry in self._tree.items_descending():
-            if key <= kth_key:
-                break
-            if entry.partition_id not in excluded:
+        for position in range(len(self._entries) - 1, start - 1, -1):
+            if self._entries[position].partition_id not in excluded:
                 count += 1
                 if count >= k:
                     break
@@ -173,14 +197,14 @@ class CandidateSet:
         :meth:`group_dominance_excluding` for when this is needed)."""
         excluded = set(exclude_partition_ids)
         count = 0
-        for key, entry in self._tree.items_descending():
-            if entry.partition_id in excluded:
+        for position in range(len(self._entries) - 1, -1, -1):
+            if self._entries[position].partition_id in excluded:
                 continue
             count += 1
             if count == k:
-                return key
+                return self._keys[position]
         return None
 
     def count_for_partition(self, partition_id: int) -> int:
         """Number of candidates currently owned by a partition (O(|C|))."""
-        return sum(1 for entry in self.iter_descending() if entry.partition_id == partition_id)
+        return sum(1 for entry in self._entries if entry.partition_id == partition_id)

@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 from bisect import insort
 from collections import deque
+from operator import itemgetter
 from typing import Callable, Deque, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..partitioning.base import PartitionContext, Partitioner
@@ -39,13 +40,14 @@ from ..savl.savl import SAVL
 from ..savl.segmented import SegmentedSAVL
 from ..stats.dominance import k_skyband
 from .candidates import CandidateSet
+from .columnar import topk_objects
 from .exceptions import AlgorithmStateError
 from .interface import (
     OBJECT_FOOTPRINT_BYTES,
     POINTER_FOOTPRINT_BYTES,
     ContinuousTopKAlgorithm,
 )
-from .object import StreamObject, top_k
+from .object import StreamObject
 from .partition import Partition, build_partition
 from .query import TopKQuery
 from .result import TopKResult
@@ -53,6 +55,11 @@ from .shared import SharedPartition, SharedPlan, SharedSlide
 from .window import SlideEvent
 
 RankKey = Tuple[float, int]
+
+#: Sort key of a ``(rank_key, obj)`` pending-top-k entry.  Sorting on the
+#: rank key alone keeps entry comparison away from ``StreamObject`` (keys
+#: are unique within a window, so ties never reach the object).
+_entry_rank = itemgetter(0)
 
 
 class FrameworkStats:
@@ -320,14 +327,24 @@ class SAPTopK(ContinuousTopKAlgorithm):
             return
         partitions = self._partitions
         candidates = self._candidates
-        for obj in expirations:
+        index = 0
+        total = len(expirations)
+        while index < total:
             front = partitions[0] if partitions else self._front_for_expiry()
             if not self._front_prepared:
                 self._prepare_front(front)
-            front.expire_one(obj)
-            entry = candidates.remove(obj.rank_key)
-            if entry is not None and entry.partition_id == front.partition_id:
-                self._front_candidate_live -= 1
+            # Absorb the longest run this front can take in one batch; the
+            # dict-backed candidate set makes the (common) non-candidate
+            # removal probe a single hash miss.
+            run = min(front.live_count, total - index)
+            batch = expirations[index : index + run]
+            front.expire_batch(batch)
+            front_id = front.partition_id
+            for obj in batch:
+                entry = candidates.remove(obj.rank_key)
+                if entry is not None and entry.partition_id == front_id:
+                    self._front_candidate_live -= 1
+            index += run
             if front.fully_expired:
                 self._retire_front()
         self._watermark = max(self._watermark, expirations[-1].t + 1)
@@ -441,8 +458,7 @@ class SAPTopK(ContinuousTopKAlgorithm):
     def _handle_arrivals(self, arrivals: Sequence[StreamObject]) -> None:
         if not arrivals:
             return
-        for obj in arrivals:
-            self._push_pending_topk(obj)
+        self._push_pending_topk_many(arrivals)
         specs = self._partitioner.observe(arrivals)
         for spec in specs:
             self._seal(spec.objects, spec.units)
@@ -505,9 +521,20 @@ class SAPTopK(ContinuousTopKAlgorithm):
             self._pending_topk.pop(0)
             insort(self._pending_topk, entry)
 
+    def _push_pending_topk_many(self, objects: Sequence[StreamObject]) -> None:
+        # top_k(A ∪ B) == top_k(top_k(A) ∪ B): merge the kept entries with
+        # the whole batch and keep the k best.  Timsort exploits the sorted
+        # prefix, so this beats per-object insort by a wide margin.
+        merged = self._pending_topk + [(obj.rank_key, obj) for obj in objects]
+        merged.sort(key=_entry_rank)
+        excess = len(merged) - self.query.k
+        if excess > 0:
+            del merged[:excess]
+        self._pending_topk = merged
+
     def _rebuild_pending_topk(self) -> None:
         pending = self._partitioner.pending_objects()
-        best = top_k(pending, self.query.k)
+        best = topk_objects(pending, self.query.k)
         self._pending_topk = sorted((obj.rank_key, obj) for obj in best)
 
     # ------------------------------------------------------------------
@@ -639,17 +666,17 @@ class _SharedPendingTopK:
         self._entries: List[Tuple[RankKey, StreamObject]] = []  # ascending
 
     def push_many(self, objects: Sequence[StreamObject]) -> None:
-        entries, k = self._entries, self._k
-        for obj in objects:
-            entry = (obj.rank_key, obj)
-            if len(entries) < k:
-                insort(entries, entry)
-            elif entry > entries[0]:
-                entries.pop(0)
-                insort(entries, entry)
+        # Same batch merge as SAPTopK._push_pending_topk_many: keep the
+        # k_max best of (kept ∪ batch) in one sort instead of s insorts.
+        merged = self._entries + [(obj.rank_key, obj) for obj in objects]
+        merged.sort(key=_entry_rank)
+        excess = len(merged) - self._k
+        if excess > 0:
+            del merged[:excess]
+        self._entries = merged
 
     def rebuild(self, pending: Sequence[StreamObject]) -> None:
-        best = top_k(pending, self._k)
+        best = topk_objects(pending, self._k)
         self._entries = sorted((obj.rank_key, obj) for obj in best)
 
     def clear(self) -> None:

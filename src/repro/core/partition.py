@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from .object import StreamObject, top_k
+from .columnar import topk_objects
+from .object import StreamObject
 
 RankKey = Tuple[float, int]
 
@@ -73,12 +74,24 @@ class Partition:
     rho: Optional[int] = None
     #: The local top-k ``P_i^k`` (best first), computed at seal time.
     topk: List[StreamObject] = field(default_factory=list)
+    #: Lazy caches over ``topk``; rebuilt after seal/insert via
+    #: :meth:`invalidate_caches`.
+    _topk_keys: Optional[List[RankKey]] = field(
+        default=None, repr=False, compare=False
+    )
+    _candidate_keys: Optional[set] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.objects:
             raise ValueError("a partition cannot be empty")
         if not self.topk:
-            self.topk = top_k(self.objects, self.k)
+            self.topk = topk_objects(self.objects, self.k)
+        self.invalidate_caches()
+
+    def invalidate_caches(self) -> None:
+        """Drop the derived-key caches (call after replacing ``topk``)."""
+        self._topk_keys = None
+        self._candidate_keys = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -105,11 +118,20 @@ class Partition:
         return self.objects[self.expired_prefix].t
 
     def topk_keys(self) -> List[RankKey]:
-        return [obj.rank_key for obj in self.topk]
+        if self._topk_keys is None:
+            self._topk_keys = [obj.rank_key for obj in self.topk]
+        return self._topk_keys
+
+    @property
+    def candidate_keys(self) -> set:
+        """The rank keys of ``P_i^k`` as a set (cached)."""
+        if self._candidate_keys is None:
+            self._candidate_keys = set(self.topk_keys())
+        return self._candidate_keys
 
     def non_candidate_objects(self) -> List[StreamObject]:
         """Objects of the partition outside ``P_i^k`` (any order)."""
-        candidate_keys = set(self.topk_keys())
+        candidate_keys = self.candidate_keys
         return [obj for obj in self.objects if obj.rank_key not in candidate_keys]
 
     def expire_one(self, obj: StreamObject) -> None:
@@ -120,6 +142,27 @@ class Partition:
                 f"expiration order violated: expected t={expected.t}, got t={obj.t}"
             )
         self.expired_prefix += 1
+
+    def expire_batch(self, objs: Sequence[StreamObject]) -> None:
+        """Record the expiration of a run of oldest live objects at once.
+
+        Equivalent to calling :meth:`expire_one` for each object, including
+        which object a mismatch is reported for, but advances the expired
+        prefix in one step."""
+        start = self.expired_prefix
+        end = start + len(objs)
+        if end > len(self.objects):
+            raise ValueError(
+                f"expiring {len(objs)} objects but only "
+                f"{len(self.objects) - start} remain live"
+            )
+        expected = self.objects[start:end]
+        for have, got in zip(expected, objs):
+            if have.t != got.t:
+                raise ValueError(
+                    f"expiration order violated: expected t={have.t}, got t={got.t}"
+                )
+        self.expired_prefix = end
 
 
 def build_partition(
@@ -136,14 +179,14 @@ def build_partition(
         pool: List[StreamObject] = []
         for unit in units:
             pool.extend(unit.summary)
-        topk = top_k(pool, k)
+        topk = topk_objects(pool, k)
         # Unit summaries of non-k-units only keep the top-1 object, so for
         # very small partitions the pooled summaries may not contain k
         # objects; fall back to a direct scan in that case.
         if len(topk) < min(k, len(objects)):
-            topk = top_k(objects, k)
+            topk = topk_objects(objects, k)
     else:
-        topk = top_k(objects, k)
+        topk = topk_objects(objects, k)
     return Partition(
         partition_id=partition_id, objects=objects, k=k, units=units, topk=topk
     )

@@ -18,9 +18,10 @@ assert it.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .columnar import SlideBlock
 from .exceptions import InvalidQueryError
 from .object import StreamObject
 from .query import TopKQuery
@@ -42,12 +43,33 @@ class SlideEvent:
         first.
     window_end:
         Arrival order / timestamp of the newest object in the window.
+    block:
+        Optional columnar form of ``arrivals`` — attached by
+        :meth:`SlideBatcher.push_block` when the arrivals came in as a
+        :class:`~repro.core.columnar.SlideBlock` slice, lazily built (and
+        cached) otherwise via :meth:`arrivals_block`.  Carries no identity:
+        it is excluded from comparison and never serialized.
     """
 
     index: int
     arrivals: Tuple[StreamObject, ...]
     expirations: Tuple[StreamObject, ...]
     window_end: int
+    block: Optional[SlideBlock] = field(default=None, compare=False, repr=False)
+
+    def arrivals_block(self) -> Optional[SlideBlock]:
+        """The arrivals as a column block (cached on the event), or ``None``
+        when they cannot be packed (exotic scores, t beyond int64)."""
+        if self.block is None:
+            from .columnar import BlockPackError
+
+            try:
+                object.__setattr__(
+                    self, "block", SlideBlock.from_objects(self.arrivals)
+                )
+            except BlockPackError:
+                return None
+        return self.block
 
 
 class SlidingWindow:
@@ -145,6 +167,32 @@ class SlideBatcher:
                 events.extend(self._push_time_based(obj))
             return events
         return self._push_count_batch(objects)
+
+    def push_block(self, block: SlideBlock) -> List[SlideEvent]:
+        """Feed a column block; emitted events keep their arrivals in block
+        form (zero-copy slices of ``block``) whenever they align.
+
+        An event whose arrivals are drawn entirely from this block (the
+        common steady-state case: no partial slide pending from an earlier
+        batch) gets the matching ``block.slice`` attached; events that mix
+        in earlier objects fall back to :meth:`SlideEvent.arrivals_block`'s
+        lazy path.  Time-based windows never attach slices — their reports
+        may drop arrivals that expired before becoming visible.
+        """
+        lead = len(self._pending)
+        events = self.push_batch(block.to_objects())
+        if self.query.time_based:
+            return events
+        # Event j's arrivals span a contiguous run of (pending-before +
+        # block); a run starting at or past the lead lies fully inside the
+        # block and can be served as a column slice.
+        offset = -lead
+        for event in events:
+            size = len(event.arrivals)
+            if offset >= 0:
+                object.__setattr__(event, "block", block.slice(offset, offset + size))
+            offset += size
+        return events
 
     def flush(self) -> List[SlideEvent]:
         """Emit the final report of a time-based window (if any)."""

@@ -307,6 +307,25 @@ class EngineCore:
         self._note_chunk(len(chunk))
         return len(chunk)
 
+    def push_block(self, block) -> int:
+        """Feed one :class:`~repro.core.columnar.SlideBlock` as a chunk.
+
+        The zero-copy ingest path of the shm transport: the block's columns
+        flow through each query group unchanged, so slide events carry
+        block-form arrivals.  Falls back to :meth:`push_many` when an
+        admission filter is active (filters are per-object)."""
+        self._ensure_open()
+        if len(block) == 0:
+            return 0
+        if self._admission_filter() is not None:
+            return self.push_many(block.to_objects(), chunk_size=len(block))
+        if not self._subscriptions:
+            raise ValueError("no queries subscribed")
+        for group in tuple(self._groups):
+            group.push_block(block, collect=False)
+        self._note_chunk(len(block))
+        return len(block)
+
     def flush(self) -> Dict[str, List[TopKResult]]:
         """Emit the end-of-stream report of time-based windows (if any)."""
         self._ensure_open()

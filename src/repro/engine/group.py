@@ -293,6 +293,14 @@ class QueryGroup:
             self.start()
         return self._dispatch(self._batcher.push_batch(objects), collect)
 
+    def push_block(
+        self, block, collect: bool = True
+    ) -> Sequence[Tuple[Subscription, List[TopKResult]]]:
+        """Feed a column block; slide events keep block-form arrivals."""
+        if not self._started:
+            self.start()
+        return self._dispatch(self._batcher.push_block(block), collect)
+
     def flush(
         self, collect: bool = True
     ) -> Sequence[Tuple[Subscription, List[TopKResult]]]:

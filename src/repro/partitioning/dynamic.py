@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..core.object import StreamObject, top_k
+from ..core.columnar import topk_objects
+from ..core.object import StreamObject
 from ..core.partition import PartitionSpec, UnitSummary
 from ..stats.mannwhitney import rank_sum_test
 from ..stats.solvers import eta_for_k, scaled_eta_k
@@ -123,7 +124,7 @@ class DynamicPartitioner(Partitioner):
         unit_objects = self._current
         self._current = []
         unit = _PendingUnit(
-            objects=unit_objects, topk=top_k(unit_objects, self.query.k)
+            objects=unit_objects, topk=topk_objects(unit_objects, self.query.k)
         )
         self._on_unit_complete(unit)
 
@@ -155,7 +156,7 @@ class DynamicPartitioner(Partitioner):
 
         candidate_pool = [obj for unit in self._units for obj in unit.topk]
         candidate_pool.extend(new_unit.topk)
-        sample1 = [obj.score for obj in top_k(candidate_pool, self.query.k)]
+        sample1 = [obj.score for obj in topk_objects(candidate_pool, self.query.k)]
         outcome = rank_sum_test(sample1, reference, alpha=self._alpha)
         return not outcome.first_is_larger
 

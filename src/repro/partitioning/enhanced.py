@@ -80,7 +80,9 @@ class EnhancedDynamicPartitioner(DynamicPartitioner):
             if unit.is_k_unit:
                 summary = list(unit.topk)
             else:
-                summary = top_k(unit.objects, 1)
+                # Non-k-units only keep their single best object; the unit's
+                # top-k is already computed, and its head is that object.
+                summary = [unit.topk[0]] if unit.topk else top_k(unit.objects, 1)
             summaries.append(
                 UnitSummary(
                     start=offset,

@@ -94,6 +94,9 @@ class ServeConfig:
     #: ``"sharded"`` (a multi-process :class:`ShardedStreamEngine`).
     engine: str = "local"
     shards: int = 2
+    #: Data-path transport of the sharded plane: ``"queue"`` or ``"shm"``
+    #: (ignored by the local engine).
+    transport: str = "queue"
     #: Admission control: new subscriptions past this cap get 429.
     max_subscriptions: int = 1024
     retry_after: int = 5
@@ -112,6 +115,10 @@ class ServeConfig:
     def validate(self) -> "ServeConfig":
         if self.engine not in ("local", "sharded"):
             raise ValueError(f"engine must be 'local' or 'sharded', got {self.engine!r}")
+        if self.transport not in ("queue", "shm"):
+            raise ValueError(
+                f"transport must be 'queue' or 'shm', got {self.transport!r}"
+            )
         if self.slow_client not in SLOW_CLIENT_POLICIES:
             raise ValueError(
                 f"slow_client must be one of {SLOW_CLIENT_POLICIES}, "
@@ -130,7 +137,9 @@ def _default_engine_factory(config: ServeConfig):
     if config.engine == "sharded":
         from ..cluster import ShardedStreamEngine
 
-        return ShardedStreamEngine(config.shards, keep_results=True)
+        return ShardedStreamEngine(
+            config.shards, keep_results=True, transport=config.transport
+        )
     from ..engine import StreamEngine
 
     return StreamEngine(keep_results=True, return_results=True)

@@ -1,0 +1,239 @@
+"""The shared-memory ring transport: protocol properties and end-to-end
+byte-identity against the queue transport.
+
+The ring tests run producer and consumer in one process (SPSC needs no
+concurrency to exercise the protocol): wraparound under slot exhaustion is
+driven by filling the ring to capacity, draining, and repeating with
+message sizes that straddle slot boundaries.  The end-to-end tests run
+real worker processes and assert the property the whole data plane hangs
+on — answers over shm are indistinguishable from answers over queues,
+which are indistinguishable from a single process.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import StreamEngine, TopKQuery
+from repro.cluster import ShardedStreamEngine
+from repro.cluster.router import ShardBackpressureError, ShardRouter
+from repro.cluster.shm import (
+    DEFAULT_SLOT_SIZE,
+    DEFAULT_SLOTS,
+    RingMessageTooLarge,
+    RingTimeout,
+    ShmRing,
+    _SLOT_HEADER,
+)
+from repro.core.object import StreamObject
+
+from ..conftest import make_objects, random_scores
+
+#: A deliberately tiny ring: 4 slots of 64 bytes forces both wraparound
+#: and multi-slot spanning with double-digit payload sizes.
+TINY_SLOTS = 4
+TINY_SLOT_SIZE = 64
+TINY_PAYLOAD = TINY_SLOT_SIZE - _SLOT_HEADER.size
+
+
+@pytest.fixture
+def tiny_ring():
+    ring = ShmRing.create(slots=TINY_SLOTS, slot_size=TINY_SLOT_SIZE)
+    yield ring
+    ring.unlink()
+
+
+class TestRingProtocol:
+    def test_fifo_roundtrip_with_wraparound(self, tiny_ring):
+        """Many more messages than slots: every slot is reused repeatedly
+        and payloads come back in order, byte for byte."""
+        for round_number in range(10 * TINY_SLOTS):
+            payload = bytes([round_number % 251]) * (round_number % (3 * TINY_PAYLOAD) + 1)
+            tiny_ring.send(payload, timeout=1.0)
+            assert tiny_ring.recv(timeout=1.0) == payload
+
+    def test_slot_exhaustion_blocks_then_recovers(self, tiny_ring):
+        """Fill every slot, observe backpressure, drain one message, and
+        confirm the producer can continue exactly where it stalled."""
+        for index in range(TINY_SLOTS):
+            tiny_ring.send(bytes([index]) * TINY_PAYLOAD, timeout=1.0)
+        with pytest.raises(RingTimeout):
+            tiny_ring.send(b"overflow", timeout=0.05)
+        assert tiny_ring.recv(timeout=1.0) == bytes([0]) * TINY_PAYLOAD
+        tiny_ring.send(b"overflow", timeout=1.0)
+        for index in range(1, TINY_SLOTS):
+            assert tiny_ring.recv(timeout=1.0) == bytes([index]) * TINY_PAYLOAD
+        assert tiny_ring.recv(timeout=1.0) == b"overflow"
+
+    def test_message_spanning_every_slot(self, tiny_ring):
+        payload = os.urandom(tiny_ring.capacity)
+        tiny_ring.send(payload, timeout=1.0)
+        assert tiny_ring.recv(timeout=1.0) == payload
+
+    def test_oversize_message_rejected(self, tiny_ring):
+        with pytest.raises(RingMessageTooLarge):
+            tiny_ring.send(b"x" * (tiny_ring.capacity + 1))
+
+    def test_try_recv_empty_returns_none(self, tiny_ring):
+        assert tiny_ring.try_recv() is None
+        tiny_ring.send(b"one")
+        assert tiny_ring.try_recv() == b"one"
+        assert tiny_ring.try_recv() is None
+
+    def test_attach_sees_the_creator_messages(self, tiny_ring):
+        reader = ShmRing.attach(tiny_ring.name)
+        try:
+            tiny_ring.send(b"cross-handle")
+            assert reader.recv(timeout=1.0) == b"cross-handle"
+        finally:
+            reader.close()
+
+    def test_default_geometry(self):
+        ring = ShmRing.create()
+        try:
+            assert ring.slots == DEFAULT_SLOTS
+            assert ring.capacity == DEFAULT_SLOTS * (DEFAULT_SLOT_SIZE - _SLOT_HEADER.size)
+        finally:
+            ring.unlink()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=0, max_value=3 * TINY_PAYLOAD), min_size=1, max_size=40
+        )
+    )
+    def test_random_sizes_roundtrip_in_order(self, sizes):
+        """Randomized wraparound: arbitrary message sizes (empty through
+        multi-slot) sent through a tiny ring come back in order."""
+        ring = ShmRing.create(slots=TINY_SLOTS, slot_size=TINY_SLOT_SIZE)
+        try:
+            payloads = [bytes([i % 256]) * size for i, size in enumerate(sizes)]
+            for payload in payloads:
+                ring.send(payload, timeout=1.0)
+                assert ring.recv(timeout=1.0) == payload
+        finally:
+            ring.unlink()
+
+
+def _suspend(process):
+    os.kill(process.pid, signal.SIGSTOP)
+    time.sleep(0.05)  # let an in-flight get() finish before the freeze bites
+
+
+def _resume(process):
+    os.kill(process.pid, signal.SIGCONT)
+
+
+class TestBackpressure:
+    def test_shm_backpressure_raises_typed_error(self):
+        """A congested shard (worker suspended, ring full) surfaces as a
+        ShardBackpressureError naming the shard instead of hanging."""
+        router = ShardRouter(
+            1,
+            transport="shm",
+            backpressure_timeout=0.3,
+            ring_slots=2,
+            ring_slot_size=256,
+        )
+        try:
+            worker = router._shards[0].process
+            _suspend(worker)
+            try:
+                # 16 objects encode to ~272 bytes: within the 496-byte ring
+                # but spanning both slots, so the second send must stall.
+                chunk = make_objects(random_scores(16, seed=3))
+                with pytest.raises(ShardBackpressureError) as excinfo:
+                    for _ in range(64):
+                        router.push_chunk(chunk, [0])
+                assert excinfo.value.shard_id == 0
+                assert "shard 0" in str(excinfo.value)
+            finally:
+                _resume(worker)
+        finally:
+            router.stop()
+
+    def test_queue_backpressure_raises_typed_error(self):
+        router = ShardRouter(
+            1, transport="queue", queue_depth=1, backpressure_timeout=0.3
+        )
+        try:
+            worker = router._shards[0].process
+            _suspend(worker)
+            try:
+                chunk = make_objects(random_scores(64, seed=3))
+                with pytest.raises(ShardBackpressureError) as excinfo:
+                    for _ in range(256):
+                        router.push_chunk(chunk, [0])
+                assert excinfo.value.shard_id == 0
+            finally:
+                _resume(worker)
+        finally:
+            router.stop()
+
+
+class TestTransportEquivalence:
+    QUERIES = {
+        "fine": TopKQuery(n=120, k=5, s=10),
+        "fine-deep": TopKQuery(n=120, k=20, s=10),  # same shape: shares a plan
+        "coarse": TopKQuery(n=60, k=4, s=20),
+    }
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        objects = make_objects(random_scores(1200, seed=31))
+        # Exercise the out-of-band payload path and the timestamp mask on
+        # a sprinkling of objects; exactness must be payload-oblivious.
+        return [
+            StreamObject(
+                score=obj.score,
+                t=obj.t,
+                payload={"seq": obj.t} if obj.t % 7 == 0 else None,
+                timestamp=obj.t * 2 if obj.t % 5 == 0 else None,
+            )
+            for obj in objects
+        ]
+
+    @pytest.fixture(scope="class")
+    def expected(self, stream):
+        engine = StreamEngine()
+        for name, query in self.QUERIES.items():
+            engine.subscribe(name, query, algorithm="SAP")
+        engine.push_many(stream)
+        engine.flush()
+        return {name: engine.results(name) for name in self.QUERIES}
+
+    @pytest.mark.parametrize("transport", ["queue", "shm"])
+    def test_answers_match_single_process(self, stream, expected, transport):
+        with ShardedStreamEngine(2, transport=transport) as engine:
+            assert engine.transport == transport
+            for name, query in self.QUERIES.items():
+                engine.subscribe(name, query, algorithm="SAP")
+            engine.push_many(stream)
+            engine.flush()
+            for name in self.QUERIES:
+                produced = engine.results(name)
+                reference = expected[name]
+                assert [r.identity() for r in produced] == [
+                    r.identity() for r in reference
+                ]
+
+    def test_transport_stats_breakdown(self, stream):
+        with ShardedStreamEngine(2, transport="shm") as engine:
+            for name, query in self.QUERIES.items():
+                engine.subscribe(name, query, algorithm="SAP")
+            engine.push_many(stream)
+            engine.flush()
+            stats = engine.transport_stats()
+        assert set(stats) == {0, 1}
+        for entry in stats.values():
+            assert entry["transport"] == "shm"
+            assert entry["bytes"] > 0
+            assert entry["decode_bytes"] > 0
+            assert entry["decoded_objects"] > 0
+            assert entry["encode_seconds"] >= 0.0
+            assert entry["send_seconds"] >= 0.0
+            assert entry["decode_seconds"] >= 0.0
