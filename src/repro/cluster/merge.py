@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.quantiles import weighted_nearest_rank, weighted_nearest_ranks
+
 
 def merge_disjoint(maps: Sequence[Dict[str, object]]) -> Dict[str, object]:
     """Union of per-shard name-keyed mappings (names are cluster-unique)."""
@@ -44,30 +46,17 @@ def weighted_percentile(
     The value at the smallest cumulative-weight position covering
     ``fraction`` of the total weight; matches
     :func:`repro.core.metrics.percentile` when all weights are equal.
+    Alias for :func:`repro.obs.quantiles.weighted_nearest_rank`, the
+    library's one weighted-percentile implementation.
     """
-    return weighted_percentiles(samples, (fraction,))[0]
+    return weighted_nearest_rank(samples, fraction)
 
 
 def weighted_percentiles(
     samples: Sequence[Tuple[float, float]], fractions: Sequence[float]
 ) -> List[float]:
     """Several weighted percentiles from one sort of the sample."""
-    if not samples:
-        raise ValueError("cannot take a percentile of no values")
-    ordered = sorted(samples)
-    total = sum(weight for _, weight in ordered)
-    results: List[float] = []
-    for fraction in fractions:
-        target = fraction * total
-        cumulative = 0.0
-        chosen = ordered[-1][0]
-        for value, weight in ordered:
-            cumulative += weight
-            if cumulative >= target:
-                chosen = value
-                break
-        results.append(chosen)
-    return results
+    return weighted_nearest_ranks(samples, fractions)
 
 
 def merged_latency_stats(
@@ -82,11 +71,19 @@ def merged_latency_stats(
     unweighted union would hand a quiet query the same influence as one
     that processed a thousand times more slides.  Totals and maxima are
     exact sums/maxima of the per-subscription aggregates.
+
+    Emits exactly :data:`repro.engine.subscription.STATS_KEYS`, the one
+    stats schema shared with :meth:`repro.engine.Subscription.stats`:
+    candidate/memory averages are slide-weighted means of the
+    per-subscription averages, maxima are maxima.
     """
     samples: List[Tuple[float, float]] = []
     slides = 0
     delivered = 0
     latency_max = 0.0
+    candidate_total = 0.0
+    candidate_max = 0.0
+    memory_kb_total = 0.0
     for telemetry in telemetry_maps:
         for record in telemetry.values():
             stats = record["stats"]
@@ -94,12 +91,19 @@ def merged_latency_stats(
             if latencies:
                 weight = float(stats["slides"]) / len(latencies)
                 samples.extend((value, weight) for value in latencies)
-            slides += int(stats["slides"])
+            sub_slides = int(stats["slides"])
+            slides += sub_slides
             delivered += int(stats["results_delivered"])
             latency_max = max(latency_max, float(stats["max_latency"]))
+            candidate_total += float(stats.get("average_candidates", 0.0)) * sub_slides
+            candidate_max = max(candidate_max, float(stats.get("candidate_max", 0.0)))
+            memory_kb_total += float(stats.get("average_memory_kb", 0.0)) * sub_slides
     merged: Dict[str, float] = {
         "slides": float(slides),
         "results_delivered": float(delivered),
+        "average_candidates": candidate_total / slides if slides else 0.0,
+        "candidate_max": candidate_max,
+        "average_memory_kb": memory_kb_total / slides if slides else 0.0,
         "max_latency": latency_max,
     }
     percentiles = (

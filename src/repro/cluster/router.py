@@ -37,6 +37,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.columnar import encode_chunk
 from ..core.exceptions import ReproError
 from ..core.state import dumps
+from ..obs.registry import LATENCY_BUCKETS, get_registry
+from ..obs.tracing import get_tracer
 from .shm import RingTimeout, ShmRing
 from .worker import shard_worker_main
 
@@ -110,6 +112,7 @@ class _ShardHandle:
         "doorbell",
         "sent_chunks",
         "counters",
+        "bp_waits",
     )
 
     def __init__(
@@ -125,6 +128,7 @@ class _ShardHandle:
         self.doorbell = ctx.Semaphore(0) if ring is not None else None
         self.sent_chunks = 0
         self.counters = _TransportCounters()
+        self.bp_waits = 0
         self.process = ctx.Process(
             target=shard_worker_main,
             args=(shard_id, self.commands, self.replies),
@@ -193,6 +197,53 @@ class ShardRouter:
         for shard in self._shards:
             shard.process.start()
         self._stopped = False
+        # Router-process observability: the fan-out stages as histograms,
+        # and a pull-time collector exporting the per-shard transport
+        # counters and ring occupancy (already maintained — zero hot-path
+        # cost).  Worker-process stages live in each worker's registry.
+        registry = get_registry()
+        stage_help = "Pipeline stage timings over the slide lifecycle."
+        self._obs_encode = registry.histogram(
+            "repro_stage_seconds", stage_help, {"stage": "encode"}, LATENCY_BUCKETS
+        )
+        self._obs_send = registry.histogram(
+            "repro_stage_seconds", stage_help, {"stage": "send"}, LATENCY_BUCKETS
+        )
+        self._tracer = get_tracer()
+        self._registry = registry
+        registry.add_collector(self._collect)
+
+    def _collect(self, registry) -> None:
+        """Pull-time export of the data-path state this router maintains."""
+        for shard in self._shards:
+            labels = {
+                "shard": str(shard.shard_id),
+                "transport": self.transport,
+                "direction": "send",
+            }
+            counters = shard.counters
+            # Counter values mirror external monotone state, so the
+            # collector assigns rather than increments.
+            registry.counter(
+                "repro_transport_bytes_total", "Encoded chunk bytes moved.", labels
+            ).value = float(counters.bytes)
+            registry.counter(
+                "repro_transport_batches_total", "Chunks moved.", labels
+            ).value = float(counters.batches)
+            registry.counter(
+                "repro_transport_objects_total", "Stream objects moved.", labels
+            ).value = float(counters.objects)
+            registry.counter(
+                "repro_backpressure_waits_total",
+                "Producer stalls on a full shard inbound path.",
+                {"shard": str(shard.shard_id)},
+            ).value = float(shard.bp_waits)
+            if shard.ring is not None:
+                registry.gauge(
+                    "repro_ring_occupancy",
+                    "FULL slots in the shard's shm ring.",
+                    {"shard": str(shard.shard_id)},
+                ).set(shard.ring.occupancy())
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -221,11 +272,15 @@ class ShardRouter:
             else None
         )
         delay = _POLL_MIN_SECONDS
+        waited = False
         while True:
             try:
                 shard.commands.put(message, timeout=delay)
                 return
             except Full:
+                if not waited:
+                    waited = True
+                    shard.bp_waits += 1
                 if not shard.process.is_alive():
                     raise ShardError(
                         f"shard {shard.shard_id} died (exit code "
@@ -258,6 +313,17 @@ class ShardRouter:
         started = time.perf_counter()
         payload = encode_chunk(chunk)
         encode_seconds = time.perf_counter() - started
+        self._obs_encode.observe(encode_seconds)
+        if self._tracer.enabled:
+            # Spans correlate by chunk sequence number: the worker stamps
+            # its decode/push spans with the same pre-increment counter.
+            self._tracer.record(
+                "encode",
+                targets[0].sent_chunks,
+                time.time() - encode_seconds,
+                encode_seconds,
+                f"bytes={len(payload)}",
+            )
         size = len(payload)
         count = len(chunk)
         for shard in targets:
@@ -271,7 +337,17 @@ class ShardRouter:
                 self._ring_send(shard, payload)
             else:
                 self._put(shard, ("push", payload))
-            counters.send_seconds += time.perf_counter() - started
+            send_seconds = time.perf_counter() - started
+            counters.send_seconds += send_seconds
+            self._obs_send.observe(send_seconds)
+            if self._tracer.enabled:
+                self._tracer.record(
+                    "send",
+                    shard.sent_chunks,
+                    time.time() - send_seconds,
+                    send_seconds,
+                    f"shard={shard.shard_id}",
+                )
             shard.sent_chunks += 1
 
     def _ring_send(self, shard: _ShardHandle, payload: bytes) -> None:
@@ -283,6 +359,7 @@ class ShardRouter:
             )
             shard.ding()
         except RingTimeout:
+            shard.bp_waits += 1
             raise ShardBackpressureError(
                 f"shard {shard.shard_id} ring stayed full for "
                 f"{self.backpressure_timeout}s (backpressure)",
@@ -412,6 +489,9 @@ class ShardRouter:
         if self._stopped:
             return
         self._stopped = True
+        registry = getattr(self, "_registry", None)
+        if registry is not None:
+            registry.remove_collector(self._collect)
         for shard in self._shards:
             try:
                 # Bounded: a dead worker with a full queue must not hang

@@ -41,6 +41,7 @@ lambdas).
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..core.exceptions import AlgorithmStateError
@@ -49,6 +50,9 @@ from ..core.query import TopKQuery
 from ..core.result import TopKResult
 from ..core.state import dumps
 from ..engine.spec import QuerySpec, resolve_query
+from ..obs.exposition import merge_snapshots
+from ..obs.registry import get_registry
+from ..obs.tracing import Span, get_tracer, spans_from_payload
 from .merge import AggregatedKnowledge, merge_disjoint, merged_latency_stats
 from .placement import PlacementPolicy, make_placement
 from .router import (
@@ -307,17 +311,39 @@ class ShardedStreamEngine:
         size = self._aligned_chunk(
             self._chunk_size if chunk_size is None else chunk_size
         )
+        tracer = get_tracer()
         count = 0
+        batches = 0
         chunk: List[StreamObject] = []
+        batch_started = time.time() if tracer.enabled else 0.0
         for obj in objects:
             chunk.append(obj)
             if len(chunk) >= size:
                 self._router.push_chunk(chunk, targets)
                 count += len(chunk)
+                if tracer.enabled:
+                    now = time.time()
+                    tracer.record(
+                        "ingest-batch",
+                        batches,
+                        batch_started,
+                        now - batch_started,
+                        f"objects={len(chunk)}",
+                    )
+                    batch_started = now
+                batches += 1
                 chunk = []
         if chunk:
             self._router.push_chunk(chunk, targets)
             count += len(chunk)
+            if tracer.enabled:
+                tracer.record(
+                    "ingest-batch",
+                    batches,
+                    batch_started,
+                    time.time() - batch_started,
+                    f"objects={len(chunk)}",
+                )
         return count
 
     def flush(self) -> Dict[str, List[TopKResult]]:
@@ -480,6 +506,45 @@ class ShardedStreamEngine:
             entry.update(record or {})
             merged[shard_id] = entry
         return merged
+
+    # ------------------------------------------------------------------
+    # Observability (cluster-aggregated metrics and tracing)
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> List[Dict[str, object]]:
+        """One cluster-wide metrics snapshot: this process's registry
+        (router fan-out stages, facade instruments) merged with every
+        worker's, each worker's series stamped ``shard="<id>"``.  Counter
+        and histogram series sum across processes; facade-process series
+        stay unlabelled by shard."""
+        self._ensure_open()
+        snapshots = [get_registry().snapshot(), *self._router.broadcast(("metrics",))]
+        extra = [None] + [
+            {"shard": str(shard_id)} for shard_id in self._router.shard_ids()
+        ]
+        return merge_snapshots(snapshots, extra)
+
+    def set_tracing(self, enabled: bool) -> None:
+        """Switch pipeline tracing on/off cluster-wide: the facade
+        process's tracer (ingest-batch, encode, send spans) and every
+        worker's (decode, push, seal, merge, deliver spans)."""
+        self._ensure_open()
+        tracer = get_tracer()
+        if enabled:
+            tracer.enable()
+        else:
+            tracer.disable()
+        self._router.broadcast(("set_tracing", bool(enabled)))
+
+    def collect_spans(self) -> List[Span]:
+        """Drain every process's recorded spans into one list ordered by
+        start time; spans carry their shard id (-1 for the facade), and
+        stitch across processes by slide/chunk sequence number."""
+        self._ensure_open()
+        spans = list(get_tracer().drain())
+        for payload in self._router.broadcast(("spans",)):
+            spans.extend(spans_from_payload(payload or ()))
+        spans.sort(key=lambda span: span.start)
+        return spans
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Point-in-time state of every subscription, keyed by name."""

@@ -266,6 +266,24 @@ class ShmRing:
         return parts[0] if len(parts) == 1 else b"".join(parts)
 
     # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of slots currently FULL (a racy, lock-free estimate).
+
+        Read by the observability plane's ring-occupancy gauge; the scan
+        takes no part in the send/recv handshake, so a concurrent producer
+        or consumer can make the count off by the messages in flight —
+        exactly the precision a load gauge needs, and no more.
+        """
+        if self._closed:
+            return 0
+        buffer = self._buffer
+        return sum(
+            1
+            for slot in range(self.slots)
+            if buffer[self._slot_offset(slot)] == _FULL
+        )
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
         """Detach from the segment (both sides); idempotent."""
         if self._closed:

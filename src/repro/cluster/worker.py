@@ -25,6 +25,13 @@ from typing import Dict, Optional
 from ..control import AdaptiveController
 from ..core.columnar import decode_chunk
 from ..engine import StreamEngine
+from ..obs.registry import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from ..obs.tracing import Tracer, set_tracer, span_payload
 
 #: Opcodes that reply on the worker's reply queue.  ``push`` and ``stop``
 #: are fire-and-forget; everything else is synchronous.
@@ -42,6 +49,9 @@ SYNC_OPS = frozenset(
         "snapshot_one",
         "telemetry",
         "transport_stats",
+        "metrics",
+        "spans",
+        "set_tracing",
         "snapshot",
         "groups",
         "capture",
@@ -76,6 +86,24 @@ def shard_worker_main(
     path arrives on ``commands`` like every control message.  ``doorbell``
     is the router's wakeup semaphore for the ring: released once per sent
     message, acquired here as a hint (never a count) of pending work."""
+    # This process's tracer carries the shard id on every span; installed
+    # before the engine exists so subscriptions and groups cache the right
+    # one.  The facade's "set_tracing" broadcast flips it on.
+    tracer = Tracer(shard=shard_id)
+    set_tracer(tracer)
+    # A fresh registry, not the inherited one: under the fork start method
+    # the parent's families (and their values at fork time) would otherwise
+    # leak into this worker's snapshot and double-count on merge.
+    registry = MetricsRegistry(enabled=get_registry().enabled)
+    set_registry(registry)
+    stage_help = "Pipeline stage timings over the slide lifecycle."
+    obs_decode = registry.histogram(
+        "repro_stage_seconds", stage_help, {"stage": "decode"}, LATENCY_BUCKETS
+    )
+    obs_push = registry.histogram(
+        "repro_stage_seconds", stage_help, {"stage": "push"}, LATENCY_BUCKETS
+    )
+
     engine = StreamEngine(keep_results=True, return_results=True)
     controller: Optional[AdaptiveController] = None
     pushed = 0
@@ -93,6 +121,23 @@ def shard_worker_main(
         "decoded_batches": 0,
         "decoded_objects": 0,
     }
+
+    transport_name = "shm" if ring is not None else "queue"
+
+    def collect_transport(reg) -> None:
+        """Pull-time export of the decode-side transport counters."""
+        labels = {"transport": transport_name, "direction": "recv"}
+        reg.counter(
+            "repro_transport_bytes_total", "Encoded chunk bytes moved.", labels
+        ).value = float(decode_stats["decode_bytes"])
+        reg.counter(
+            "repro_transport_batches_total", "Chunks moved.", labels
+        ).value = float(decode_stats["decoded_batches"])
+        reg.counter(
+            "repro_transport_objects_total", "Stream objects moved.", labels
+        ).value = float(decode_stats["decoded_objects"])
+
+    registry.add_collector(collect_transport)
 
     def telemetry() -> Dict[str, Dict[str, object]]:
         """Per-subscription statistics plus the raw bounded latency sample,
@@ -117,18 +162,44 @@ def shard_worker_main(
             return  # the shard is broken; drop data, keep the error
         try:
             if isinstance(payload, (bytes, bytearray, memoryview)):
+                # Pre-increment sequence number: matches the router's
+                # ``sent_chunks`` stamp on its encode/send spans, so the
+                # trace stitches across the process boundary.
+                seq = decode_stats["decoded_batches"]
                 started = time.perf_counter()
                 objects, block = decode_chunk(payload, materialize=False)
-                decode_stats["decode_seconds"] += time.perf_counter() - started
+                decode_seconds = time.perf_counter() - started
+                obs_decode.observe(decode_seconds)
+                if tracer.enabled:
+                    tracer.record(
+                        "decode",
+                        seq,
+                        time.time() - decode_seconds,
+                        decode_seconds,
+                        f"bytes={len(payload)}",
+                    )
+                count = len(block) if block is not None else len(objects)
+                decode_stats["decode_seconds"] += decode_seconds
                 decode_stats["decode_bytes"] += len(payload)
                 decode_stats["decoded_batches"] += 1
-                decode_stats["decoded_objects"] += len(block) if block is not None else len(objects)
+                decode_stats["decoded_objects"] += count
                 # The router pre-chunks to slide-aligned sizes; a columnar
                 # chunk moves through each query group in block form.
+                started = time.perf_counter()
                 if block is not None:
                     pushed += engine.push_block(block)
                 else:
                     pushed += engine.push_many(objects, chunk_size=max(1, len(objects)))
+                push_seconds = time.perf_counter() - started
+                obs_push.observe(push_seconds)
+                if tracer.enabled:
+                    tracer.record(
+                        "push",
+                        seq,
+                        time.time() - push_seconds,
+                        push_seconds,
+                        f"objects={count}",
+                    )
             else:
                 pushed += engine.push_many(payload, chunk_size=max(1, len(payload)))
         except BaseException:
@@ -274,6 +345,15 @@ def shard_worker_main(
                     "chunks": consumed_chunks if ring is not None else decode_stats["decoded_batches"],
                     **decode_stats,
                 }
+            elif op == "metrics":
+                payload = registry.snapshot()
+            elif op == "spans":
+                payload = span_payload(tracer.drain())
+            elif op == "set_tracing":
+                if message[1]:
+                    tracer.enable()
+                else:
+                    tracer.disable()
             elif op == "snapshot":
                 payload = engine.snapshot()
             elif op == "groups":

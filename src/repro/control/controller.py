@@ -34,11 +34,13 @@ accuracy for throughput and is accounted explicitly
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional
 
 from ..baselines.mintopk import MinTopK
 from ..core.exceptions import AlgorithmStateError
 from ..core.object import StreamObject
+from ..obs.registry import get_registry
 from .analyzers import Analyzer, Symptom
 from .executor import Executor
 from .knowledge import AdaptationEvent, Knowledge
@@ -72,6 +74,7 @@ class AdaptiveController:
         self._analyzed: Dict[int, int] = {}
         self._shed_stride: Optional[int] = None
         self._admit_counter = 0
+        self._registry = None
 
     # ------------------------------------------------------------------
     # Engine binding (driven by StreamEngine.attach_controller)
@@ -82,6 +85,8 @@ class AdaptiveController:
                 "this controller is already attached to an engine"
             )
         self._engine = engine
+        self._registry = get_registry()
+        self._registry.add_collector(self._collect_metrics)
 
     def _unbind_engine(self, engine) -> None:
         if self._engine is engine:
@@ -92,6 +97,30 @@ class AdaptiveController:
             self._groups = []
             self._analyzed = {}
             self._shed_stride = None
+            if self._registry is not None:
+                self._registry.remove_collector(self._collect_metrics)
+                self._registry = None
+
+    def _collect_metrics(self, registry) -> None:
+        """Pull-time export of the control plane's accounting.
+
+        Counter values mirror the knowledge store's exact monotone state,
+        so the collector assigns rather than increments — the per-object
+        admit valve stays untouched.
+        """
+        shedding = self.knowledge.shedding
+        registry.counter(
+            "repro_shed_objects_total", "Stream objects dropped by load shedding."
+        ).value = float(shedding.shed)
+        registry.counter(
+            "repro_shedding_engagements_total", "Load-shedding engagements."
+        ).value = float(shedding.engagements)
+        for tactic, count in self.knowledge.tactic_counts.items():
+            registry.counter(
+                "repro_tactics_total",
+                "Adaptation tactics attempted (applied and declined).",
+                {"tactic": tactic},
+            ).value = float(count)
 
     def _adopt_group(self, group) -> None:
         group.telemetry = self.monitor
@@ -174,6 +203,7 @@ class AdaptiveController:
         """
         events: List[AdaptationEvent] = []
         interval = self.policy.analysis_interval_slides
+        analyzed = False
         for group in self._groups:
             if not len(group) or not group.at_slide_boundary():
                 continue
@@ -182,6 +212,7 @@ class AdaptiveController:
             if last is not None and index - last < interval:
                 continue
             self._analyzed[id(group)] = index
+            analyzed = True
             symptoms = self._analyze(group)
             actions = self.planner.plan(
                 group,
@@ -195,6 +226,13 @@ class AdaptiveController:
                 actions.append(recovery)
             if actions:
                 events.extend(self.executor.execute(group, actions, self))
+        if analyzed and self._registry is not None and self._registry.enabled:
+            # Feed the knowledge store one observability snapshot per
+            # analysis pass, so MAPE-K analyzers can correlate engine
+            # symptoms with transport/serving metrics.
+            self.knowledge.add_metrics_snapshot(
+                {"ts": time.time(), "metrics": self._registry.snapshot()}
+            )
         return events
 
     def _analyze(self, group) -> List[Symptom]:

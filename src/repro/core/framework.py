@@ -27,6 +27,7 @@ procedure) on top of the building blocks of the other modules:
 from __future__ import annotations
 
 import time
+import weakref
 from bisect import insort
 from collections import deque
 from operator import itemgetter
@@ -36,6 +37,8 @@ from ..partitioning.base import PartitionContext, Partitioner
 from ..partitioning.enhanced import EnhancedDynamicPartitioner
 from ..savl.amortized import AmortizedSAVLBuilder
 from ..savl.meaningful import EmptyMeaningfulSet, MeaningfulSet, SortedMeaningfulSet
+from ..obs.registry import LATENCY_BUCKETS, SIZE_BUCKETS, get_registry
+from ..obs.tracing import get_tracer
 from ..savl.savl import SAVL
 from ..savl.segmented import SegmentedSAVL
 from ..stats.dominance import k_skyband
@@ -60,6 +63,39 @@ RankKey = Tuple[float, int]
 #: rank key alone keeps entry comparison away from ``StreamObject`` (keys
 #: are unique within a window, so ties never reach the object).
 _entry_rank = itemgetter(0)
+
+#: Seal-path instruments per registry.  SAP algorithms are pickled for
+#: capture/rebalance, so observability handles must not live on the
+#: instance; resolving them through the registry on every seal costs a
+#: lock, so the seal path caches them here instead (weakly keyed: a
+#: swapped-out registry — tests, the overhead benchmark — stays
+#: collectable).
+_seal_instrument_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _seal_instruments(registry):
+    """``(stage histogram, sealed counter, size histogram)`` of ``registry``."""
+    cached = _seal_instrument_cache.get(registry)
+    if cached is None:
+        cached = (
+            registry.histogram(
+                "repro_stage_seconds",
+                "Pipeline stage timings over the slide lifecycle.",
+                {"stage": "seal"},
+                LATENCY_BUCKETS,
+            ),
+            registry.counter(
+                "repro_partitions_sealed_total", "Partitions sealed and adopted."
+            ),
+            registry.histogram(
+                "repro_seal_partition_size",
+                "Objects per sealed partition.",
+                None,
+                SIZE_BUCKETS,
+            ),
+        )
+        _seal_instrument_cache[registry] = cached
+    return cached
 
 
 class FrameworkStats:
@@ -466,15 +502,38 @@ class SAPTopK(ContinuousTopKAlgorithm):
             self._rebuild_pending_topk()
 
     def _seal(self, objects: Sequence[StreamObject], units) -> None:
+        # The observability handles come from the module-level per-registry
+        # cache (never the instance): SAP algorithms are pickled for
+        # capture/rebalance, so instruments must not ride on ``self``.
+        registry = get_registry()
+        tracer = get_tracer()
+        timed = registry.enabled or tracer.enabled
+        started = time.perf_counter() if timed else 0.0
         partition = build_partition(
             self._next_partition_id, objects, self.query.k, units
         )
         self._adopt_partition(partition)
+        if timed:
+            seal_seconds = time.perf_counter() - started
+            _seal_instruments(registry)[0].observe(seal_seconds)
+            if tracer.enabled:
+                tracer.record(
+                    "seal",
+                    self._slides_processed,
+                    time.time() - seal_seconds,
+                    seal_seconds,
+                    f"objects={len(objects)}",
+                )
 
     def _adopt_partition(self, partition: Partition) -> None:
         """Register a freshly sealed partition (own or plan-provided)."""
         self._next_partition_id += 1
         self.stats.partitions_sealed += 1
+        registry = get_registry()
+        if registry.enabled:
+            _, sealed_total, partition_size = _seal_instruments(registry)
+            sealed_total.inc()
+            partition_size.observe(len(partition.objects))
         if self.seal_listener is not None:
             self.seal_listener(partition)
         removed = self._candidates.merge_partition_topk(

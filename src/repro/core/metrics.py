@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..obs.quantiles import nearest_rank, nearest_ranks
+
 
 def bytes_to_kb(value: float) -> float:
     """Convert a byte count to kilobytes (the unit used by the paper)."""
@@ -24,14 +26,12 @@ def bytes_to_kb(value: float) -> float:
 
 
 def percentile(values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of a non-empty list (fraction in [0, 1])."""
-    if not values:
-        raise ValueError("cannot take a percentile of no values")
-    if not 0.0 <= fraction <= 1.0:
-        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
-    return ordered[rank]
+    """Nearest-rank percentile of a non-empty list (fraction in [0, 1]).
+
+    Alias for :func:`repro.obs.quantiles.nearest_rank`, the library's one
+    percentile implementation.
+    """
+    return nearest_rank(values, fraction)
 
 
 #: Cap on retained per-slide latency samples.  Once reached, the sample is
@@ -115,12 +115,7 @@ class MetricsCollector:
         """Several percentiles from one sort of the retained sample."""
         if not self.latencies:
             return [0.0] * len(fractions)
-        ordered = sorted(self.latencies)
-        last = len(ordered) - 1
-        return [
-            ordered[min(last, max(0, int(round(fraction * last))))]
-            for fraction in fractions
-        ]
+        return nearest_ranks(self.latencies, fractions)
 
     @property
     def median_latency(self) -> float:

@@ -33,6 +33,7 @@ from ..core.object import StreamObject
 from ..core.query import TopKQuery
 from ..core.result import TopKResult
 from ..core.state import SubscriptionState, capture_subscription, check_version, loads
+from ..obs.registry import get_registry
 from ..registry import create_algorithm
 from .group import GroupKey, QueryGroup, group_key_for
 from .spec import QuerySpec, resolve_query
@@ -62,6 +63,10 @@ class EngineCore:
         self._default_keep_results = keep_results
         self._return_results = return_results
         self._closed = False
+        self._obs_ingested = get_registry().counter(
+            "repro_events_ingested_total",
+            "Stream objects admitted into this engine's windows.",
+        )
 
     # ------------------------------------------------------------------
     # Subscription management
@@ -256,6 +261,7 @@ class EngineCore:
             return {}
         collect = self._return_results
         produced = None
+        self._obs_ingested.inc()
         # Snapshot: result callbacks may unsubscribe (mutating the list).
         for group in tuple(self._groups):
             for subscription, results in group.push(obj, collect=collect):
@@ -302,6 +308,7 @@ class EngineCore:
     def _push_chunk(self, chunk: List[StreamObject]) -> int:
         if not self._subscriptions:
             raise ValueError("no queries subscribed")
+        self._obs_ingested.inc(len(chunk))
         for group in tuple(self._groups):
             group.push_batch(chunk, collect=False)
         self._note_chunk(len(chunk))
@@ -321,6 +328,7 @@ class EngineCore:
             return self.push_many(block.to_objects(), chunk_size=len(block))
         if not self._subscriptions:
             raise ValueError("no queries subscribed")
+        self._obs_ingested.inc(len(block))
         for group in tuple(self._groups):
             group.push_block(block, collect=False)
         self._note_chunk(len(block))
@@ -379,6 +387,28 @@ class EngineCore:
     def stats(self) -> Dict[str, Dict[str, float]]:
         """Aggregate performance statistics of every subscription."""
         return {name: sub.stats() for name, sub in self._subscriptions.items()}
+
+    def aggregate_stats(self) -> Dict[str, float]:
+        """Engine-wide latency distribution over every subscription.
+
+        The local analogue of
+        :meth:`repro.cluster.ShardedStreamEngine.aggregate_stats`: the
+        same merge code runs over this engine's subscriptions as over a
+        cluster's shards, so both planes emit the identical schema
+        (:data:`~repro.engine.subscription.STATS_KEYS`) and identical
+        numbers for the same stream.
+        """
+        from ..cluster.merge import merged_latency_stats
+
+        telemetry = {
+            name: {
+                "stats": sub.stats(),
+                "latencies": list(sub.metrics.latencies),
+                "shard": -1,
+            }
+            for name, sub in self._subscriptions.items()
+        }
+        return merged_latency_stats([telemetry])
 
     # ------------------------------------------------------------------
     # Lifecycle

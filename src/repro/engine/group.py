@@ -33,6 +33,8 @@ from ..core.result import TopKResult
 from ..core.shared import SharedPlan, SharedSlide
 from ..core.state import replay_event
 from ..core.window import SlideBatcher, SlideEvent
+from ..obs.registry import LATENCY_BUCKETS, get_registry
+from ..obs.tracing import get_tracer
 from .subscription import Subscription
 
 #: Group key: window size, slide, and window type.
@@ -62,6 +64,15 @@ class QueryGroup:
         #: subscription=..., event=..., result=...)`` is called after every
         #: member processes a slide.
         self.telemetry = None
+        registry = get_registry()
+        self._obs_merge = registry.histogram(
+            "repro_stage_seconds",
+            "Pipeline stage timings over the slide lifecycle.",
+            {"stage": "merge"},
+            LATENCY_BUCKETS,
+        )
+        self._obs_enabled = registry.enabled
+        self._tracer = get_tracer()
 
     # ------------------------------------------------------------------
     # Membership
@@ -316,7 +327,9 @@ class QueryGroup:
         if not events:
             return ()
         produced: Dict[Subscription, List[TopKResult]] = {}
+        timed = self._obs_enabled or self._tracer.enabled
         for event in events:
+            merge_started = time.perf_counter() if timed else 0.0
             shared_for: Dict[int, SharedSlide] = {}
             for plan in self._plans:
                 if not plan.has_open_members():
@@ -334,6 +347,17 @@ class QueryGroup:
                     self.telemetry.record_slide(self, subscription, event, result)
                 if collect and result is not None:
                     produced.setdefault(subscription, []).append(result)
+            if timed:
+                merge_seconds = time.perf_counter() - merge_started
+                self._obs_merge.observe(merge_seconds)
+                if self._tracer.enabled:
+                    self._tracer.record(
+                        "merge",
+                        event.index,
+                        time.time() - merge_seconds,
+                        merge_seconds,
+                        f"members={len(self._members)}",
+                    )
         if not collect:
             return ()
         return [

@@ -26,6 +26,27 @@ from ..core.metrics import MetricsCollector
 from ..core.result import TopKResult
 from ..core.shared import SharedSlide
 from ..core.window import SlideEvent
+from ..obs.registry import LATENCY_BUCKETS, SIZE_BUCKETS, get_registry
+from ..obs.tracing import get_tracer
+
+#: The documented schema of every per-subscription stats surface.
+#: :meth:`Subscription.stats` (local and embedded engines),
+#: ``ShardSubscription.stats()`` (one shard), and the cluster-wide
+#: :func:`repro.cluster.merge.merged_latency_stats` all emit exactly
+#: these keys, so stat consumers never branch on the execution plane.
+STATS_KEYS = (
+    "slides",
+    "results_delivered",
+    "average_candidates",
+    "candidate_max",
+    "average_memory_kb",
+    "median_latency",
+    "p50_latency",
+    "p95_latency",
+    "p99_latency",
+    "max_latency",
+    "latency_samples",
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .group import QueryGroup
@@ -61,6 +82,33 @@ class Subscription:
         self._delivered = 0
         self._closed = False
         self._last_latency = 0.0
+        # Observability instruments, resolved once per subscription so the
+        # per-slide path is increment/observe only (a disabled registry
+        # hands out shared no-op instruments instead).
+        registry = get_registry()
+        labels = {"algorithm": algorithm.name}
+        self._obs_slides = registry.counter(
+            "repro_slides_total", "Sealed slides processed.", labels
+        )
+        self._obs_delivered = registry.counter(
+            "repro_results_delivered_total", "Top-k answers produced.", labels
+        )
+        self._obs_latency = registry.histogram(
+            "repro_deliver_latency_seconds",
+            "Per-slide answer latency (includes the shared-plan prep share).",
+            labels,
+            LATENCY_BUCKETS,
+        )
+        self._obs_candidates = registry.histogram(
+            "repro_candidates",
+            "Candidate-set size sampled after each slide.",
+            labels,
+            SIZE_BUCKETS,
+        )
+        self._obs_candidates_last = registry.gauge(
+            "repro_candidates_last", "Candidate-set size of the latest slide.", labels
+        )
+        self._tracer = get_tracer()
 
     # ------------------------------------------------------------------
     # Consuming answers
@@ -130,7 +178,11 @@ class Subscription:
 
     def stats(self) -> Dict[str, float]:
         """Aggregate performance statistics (the paper's three measures,
-        plus the per-slide latency distribution as p50/p95/p99)."""
+        plus the per-slide latency distribution as p50/p95/p99).
+
+        Emits exactly :data:`STATS_KEYS` — the same schema every other
+        stats surface (sharded, cluster-aggregate) uses.
+        """
         m = self._metrics
         p50, p95, p99 = m.latency_percentiles((0.5, 0.95, 0.99))
         return {
@@ -144,6 +196,7 @@ class Subscription:
             "p95_latency": p95,
             "p99_latency": p99,
             "max_latency": m.max_latency,
+            "latency_samples": float(len(m.latencies)),
         }
 
     def last_slide_sample(self) -> Dict[str, float]:
@@ -229,10 +282,18 @@ class Subscription:
         if shared is not None:
             latency += shared.prep_share
         self._last_latency = latency
-        if self._collect_metrics:
-            self._metrics.record(
-                self.algorithm.candidate_count(), self.algorithm.memory_bytes(), latency
+        self._obs_slides.inc()
+        self._obs_delivered.inc()
+        self._obs_latency.observe(latency)
+        if self._tracer.enabled:
+            self._tracer.record(
+                "deliver", event.index, time.time() - latency, latency, self.name
             )
+        if self._collect_metrics:
+            candidates = self.algorithm.candidate_count()
+            self._metrics.record(candidates, self.algorithm.memory_bytes(), latency)
+            self._obs_candidates.observe(candidates)
+            self._obs_candidates_last.set(candidates)
         else:
             self._metrics.slides += 1
         self._delivered += 1

@@ -1,0 +1,103 @@
+"""Unified observability plane: metrics, tracing, exposition, dashboard.
+
+Every layer of the system — engine, query groups, partition seals, the
+shard router's transports, the shm ring, the serving layer's batcher and
+dedupe window, the MAPE-K control loop — records into one process-local
+:class:`MetricsRegistry` of named counters, gauges, and log-linear-bucket
+histograms.  The registry is lock-free on the hot path (instruments are
+resolved once and cached by their owners), and a disabled registry hands
+out a shared no-op instrument so the whole plane compiles away to one
+dead method call per sample.
+
+Around the metrics sit three consumers:
+
+* **tracing** (:class:`Tracer`): spans over the slide lifecycle
+  (``ingest-batch → encode → send → decode → push → seal → merge →
+  deliver``), shipped from worker processes over the existing control
+  channel and exported as Chrome trace-event JSON via ``repro trace``;
+* **exposition** (:func:`render_prometheus`, :func:`merge_snapshots`):
+  ``GET /metrics`` on ``repro serve`` in Prometheus text format 0.0.4,
+  cluster-aggregated across worker processes, plus the ``/metrics.json``
+  snapshot feed that also lands in the MAPE-K ``Knowledge`` store;
+* **dashboard** (``repro top``): a stdlib ANSI live view over the
+  snapshot feed.
+
+:mod:`repro.obs.quantiles` is also the library's single percentile
+implementation — the per-subscription collector, the cluster merge
+layer, and the serving stats all call it.
+"""
+
+from .exposition import (
+    find_series,
+    histogram_quantile,
+    merge_snapshots,
+    render_prometheus,
+    snapshot_value,
+)
+from .quantiles import (
+    STANDARD_FRACTIONS,
+    nearest_rank,
+    nearest_ranks,
+    weighted_nearest_rank,
+    weighted_nearest_ranks,
+)
+from .registry import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopInstrument,
+    get_registry,
+    log_linear_buckets,
+    set_registry,
+)
+from .top import render_dashboard, run_top
+from .tracing import (
+    SPAN_CAPACITY,
+    STAGES,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span_payload,
+    spans_from_payload,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NoopInstrument",
+    "SIZE_BUCKETS",
+    "SPAN_CAPACITY",
+    "STAGES",
+    "STANDARD_FRACTIONS",
+    "Span",
+    "Tracer",
+    "find_series",
+    "get_registry",
+    "get_tracer",
+    "histogram_quantile",
+    "log_linear_buckets",
+    "merge_snapshots",
+    "nearest_rank",
+    "nearest_ranks",
+    "render_dashboard",
+    "render_prometheus",
+    "run_top",
+    "set_registry",
+    "set_tracer",
+    "snapshot_value",
+    "span_payload",
+    "spans_from_payload",
+    "to_chrome_trace",
+    "weighted_nearest_rank",
+    "weighted_nearest_ranks",
+    "write_chrome_trace",
+]

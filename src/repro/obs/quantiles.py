@@ -1,0 +1,84 @@
+"""The library's one percentile implementation.
+
+Nearest-rank percentiles appear in three places with very different
+inputs: the per-subscription :class:`~repro.core.metrics.MetricsCollector`
+(a plain list of latencies), the cluster merge layer (per-shard samples
+weighted by the slide counts they represent), and the serving layer's
+stat reports.  They must agree bit-for-bit — a p95 computed one way on a
+shard and another way on the facade would drift — so all of them call the
+helpers here and nothing else implements a percentile.
+
+The convention is nearest rank over the *sorted* sample: for a sample of
+``m`` values, fraction ``f`` selects the value at index
+``round(f * (m - 1))``.  The weighted variant generalises this to
+``(value, weight)`` pairs — the value at the smallest cumulative-weight
+position covering ``f`` of the total weight — and reduces to the
+unweighted rule when all weights are equal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: The fractions every stat surface reports, in reporting order.
+STANDARD_FRACTIONS = (0.5, 0.95, 0.99)
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+
+
+def nearest_rank(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sequence."""
+    return nearest_ranks(values, (fraction,))[0]
+
+
+def nearest_ranks(
+    values: Sequence[float], fractions: Sequence[float]
+) -> List[float]:
+    """Several nearest-rank percentiles from one sort of the sample."""
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    ordered = sorted(values)
+    last = len(ordered) - 1
+    results: List[float] = []
+    for fraction in fractions:
+        _check_fraction(fraction)
+        results.append(ordered[min(last, max(0, int(round(fraction * last))))])
+    return results
+
+
+def weighted_nearest_rank(
+    samples: Sequence[Tuple[float, float]], fraction: float
+) -> float:
+    """Nearest-rank percentile of ``(value, weight)`` samples."""
+    return weighted_nearest_ranks(samples, (fraction,))[0]
+
+
+def weighted_nearest_ranks(
+    samples: Sequence[Tuple[float, float]], fractions: Sequence[float]
+) -> List[float]:
+    """Several weighted percentiles from one sort of the sample.
+
+    The value at the smallest cumulative-weight position covering each
+    fraction of the total weight; matches :func:`nearest_ranks` when all
+    weights are equal.
+    """
+    if not samples:
+        raise ValueError("cannot take a percentile of no values")
+    ordered = sorted(samples)
+    total = sum(weight for _, weight in ordered)
+    results: List[float] = []
+    for fraction in fractions:
+        _check_fraction(fraction)
+        target = fraction * total
+        cumulative = 0.0
+        chosen = ordered[-1][0]
+        for value, weight in ordered:
+            cumulative += weight
+            if cumulative >= target:
+                chosen = value
+                break
+        results.append(chosen)
+    return results

@@ -8,6 +8,8 @@ The HTTP surface:
 ==========================================  ===================================
 ``GET  /health``                            liveness probe
 ``GET  /stats``                             server-wide ingest/session stats
+``GET  /metrics``                           Prometheus text format 0.0.4
+``GET  /metrics.json``                      JSON metrics snapshot (``repro top``)
 ``POST /subscriptions``                     create a continuous query (429 +
                                             ``Retry-After`` past the cap)
 ``GET  /subscriptions``                     list subscription records
@@ -50,6 +52,8 @@ from typing import Callable, Dict, List, Optional, Set
 
 from ..core.exceptions import InvalidQueryError, ReproError
 from ..core.query import TopKQuery
+from ..obs.exposition import render_prometheus
+from ..obs.registry import get_registry
 from ..registry import algorithm_names
 from .backpressure import (
     DEFAULT_CLIENT_QUEUE,
@@ -180,6 +184,55 @@ class TopKServer:
         self._shutdown_finished = False
         self._started_at = time.time()
         self.dropped_no_subscribers = 0
+        # Serving-layer instruments ride the process metrics registry as a
+        # pull-time collector over state the layers already maintain.
+        self._metrics_registry = get_registry()
+        self._metrics_registry.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry) -> None:
+        """Pull-time export of the serving layer's state counters.
+
+        Counter values mirror external monotone state, so the collector
+        assigns rather than increments.
+        """
+        batcher = self.batcher.stats()
+        registry.counter(
+            "repro_ingested_total", "Events admitted by the ingest batcher."
+        ).value = float(batcher["ingested"])
+        registry.gauge(
+            "repro_ingest_pending", "Events buffered awaiting slide alignment."
+        ).set(batcher["pending"])
+        dedupe = self.dedupe.stats()
+        registry.counter(
+            "repro_dedupe_admitted_total", "Distinct event ids admitted."
+        ).value = float(dedupe["admitted"])
+        registry.counter(
+            "repro_dedupe_duplicates_total", "Producer retries suppressed."
+        ).value = float(dedupe["duplicates"])
+        registry.counter(
+            "repro_dedupe_evictions_total", "Ids evicted from the dedupe window."
+        ).value = float(dedupe["evictions"])
+        totals = self.registry.totals()
+        registry.gauge("repro_sessions", "Live subscription sessions.").set(
+            totals["sessions"]
+        )
+        registry.gauge("repro_clients", "Connected streaming clients.").set(
+            totals["clients"]
+        )
+        registry.counter(
+            "repro_results_pushed_total", "Answers fanned out to client channels."
+        ).value = float(totals["results_pushed"])
+        registry.counter(
+            "repro_results_dropped_total", "Answers dropped on slow clients."
+        ).value = float(totals["results_dropped"])
+        registry.counter(
+            "repro_dropped_no_subscribers_total",
+            "Events dropped with no subscription to answer.",
+        ).value = float(self.dropped_no_subscribers)
+        registry.counter(
+            "repro_subscriptions_rejected_total",
+            "Subscriptions refused by admission control (429).",
+        ).value = float(self.admission.stats()["rejected"])
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -239,6 +292,7 @@ class TopKServer:
         if self._client_tasks:
             await asyncio.wait(tuple(self._client_tasks), timeout=5.0)
         self._executor.shutdown(wait=True)
+        self._metrics_registry.remove_collector(self._collect_metrics)
 
     def _drain_and_close(self, tail) -> Dict[str, List]:
         """Final engine job: push the ingest tail, drain every answer,
@@ -276,6 +330,23 @@ class TopKServer:
         if batch:
             self._engine.push_many(batch, chunk_size=max(1, len(batch)))
         return self._engine.drain_results()
+
+    async def _metrics_snapshot(self) -> List[Dict[str, object]]:
+        """One cluster-aggregated metrics snapshot (engine thread: the
+        sharded facade's snapshot is a worker broadcast)."""
+        return await self._engine_call(self._metrics_snapshot_sync)
+
+    def _metrics_snapshot_sync(self) -> List[Dict[str, object]]:
+        engine = self._engine
+        if (
+            engine is not None
+            and hasattr(engine, "metrics_snapshot")
+            and not getattr(engine, "closed", False)
+        ):
+            # The sharded facade merges this process's registry (serving
+            # instruments included, via the collector) with every worker's.
+            return engine.metrics_snapshot()
+        return self._metrics_registry.snapshot()
 
     # ------------------------------------------------------------------
     # Subscription management
@@ -447,6 +518,21 @@ class TopKServer:
             self._reply(writer, 200, {"status": "ok", "uptime_s": self._uptime()})
         elif segments == ("stats",) and method == "GET":
             self._reply(writer, 200, self.describe())
+        elif segments == ("metrics",) and method == "GET":
+            text = render_prometheus(await self._metrics_snapshot())
+            writer.write(
+                render_response(
+                    200,
+                    text.encode(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            )
+        elif segments == ("metrics.json",) and method == "GET":
+            self._reply(
+                writer,
+                200,
+                {"ts": time.time(), "metrics": await self._metrics_snapshot()},
+            )
         elif segments == ("events",) and method == "POST":
             body = request.json()
             if isinstance(body, dict) and "events" in body:

@@ -152,14 +152,19 @@ def render_response(
     *,
     headers: Optional[Dict[str, str]] = None,
     keep_alive: bool = True,
+    content_type: Optional[str] = None,
 ) -> bytes:
-    """Render a full response; dict/list payloads are serialized as JSON."""
+    """Render a full response; dict/list payloads are serialized as JSON.
+
+    ``content_type`` overrides the inferred type (the ``/metrics``
+    endpoint serves bytes as Prometheus text, not an octet stream).
+    """
     if payload is None:
         body = b""
         content_type = None
     elif isinstance(payload, bytes):
         body = payload
-        content_type = "application/octet-stream"
+        content_type = content_type or "application/octet-stream"
     else:
         body = (json.dumps(payload) + "\n").encode()
         content_type = "application/json"

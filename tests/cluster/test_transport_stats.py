@@ -1,0 +1,80 @@
+"""The cluster's per-shard transport_stats() merge.
+
+The facade report joins two sides per shard — the router's
+serialize/send counters and the worker's deserialize counters — so the
+tests cover the join itself: a freshly opened plane (zero chunks moved),
+a plane that moved data, and the dead-worker degradation where a shard's
+worker reply is missing and the router-side half must survive alone.
+"""
+
+import pytest
+
+from repro.cluster import ShardedStreamEngine
+from repro.core.query import TopKQuery
+from repro.streams import make_dataset
+
+ROUTER_KEYS = {"encode_seconds", "send_seconds", "bytes", "batches", "objects"}
+WORKER_KEYS = {
+    "shard",
+    "transport",
+    "chunks",
+    "decode_seconds",
+    "decode_bytes",
+    "decoded_batches",
+    "decoded_objects",
+}
+
+
+@pytest.fixture()
+def engine():
+    with ShardedStreamEngine(2, transport="queue") as engine:
+        yield engine
+
+
+class TestTransportStatsMerge:
+    def test_zero_chunk_plane_reports_zeroed_counters(self, engine):
+        engine.subscribe("q", TopKQuery(n=100, k=5, s=10), keep_results=False)
+        stats = engine.transport_stats()
+        assert set(stats) == {0, 1}
+        for record in stats.values():
+            assert ROUTER_KEYS | WORKER_KEYS <= set(record)
+            assert record["batches"] == 0
+            assert record["bytes"] == 0
+            assert record["decoded_batches"] == 0
+            assert record["decoded_objects"] == 0
+
+    def test_both_sides_agree_after_data_moved(self, engine):
+        engine.subscribe("q", TopKQuery(n=100, k=5, s=10), keep_results=False)
+        engine.push_many(make_dataset("STOCK").take(1000))
+        engine.synchronize()
+        stats = engine.transport_stats()
+        moved = [record for record in stats.values() if record["batches"]]
+        assert moved, "no shard moved any chunk"
+        for record in moved:
+            # The worker decoded exactly what the router sent it.
+            assert record["decoded_batches"] == record["batches"]
+            assert record["decoded_objects"] == record["objects"]
+            assert record["decode_bytes"] == record["bytes"]
+            assert record["transport"] == "queue"
+
+    def test_dead_worker_reply_degrades_to_router_side(self, engine, monkeypatch):
+        engine.subscribe("q", TopKQuery(n=100, k=5, s=10), keep_results=False)
+        engine.push_many(make_dataset("STOCK").take(500))
+        engine.synchronize()
+
+        real_broadcast = engine._router.broadcast
+
+        def broadcast(message):
+            replies = real_broadcast(message)
+            if message[0] == "transport_stats":
+                replies = [None] + list(replies[1:])  # shard 0 died mid-reply
+            return replies
+
+        monkeypatch.setattr(engine._router, "broadcast", broadcast)
+        stats = engine.transport_stats()
+        assert set(stats) == {0, 1}
+        # Shard 0 keeps its router-side half; the worker half is absent.
+        assert ROUTER_KEYS <= set(stats[0])
+        assert not WORKER_KEYS & set(stats[0])
+        # The surviving shard still reports both sides.
+        assert ROUTER_KEYS | WORKER_KEYS <= set(stats[1])

@@ -1,0 +1,88 @@
+"""Regression tests pinning the one stats schema (:data:`STATS_KEYS`).
+
+Three surfaces report per-subscription/cluster statistics: the embedded
+engine's :meth:`Subscription.stats`, the engine-wide
+:meth:`StreamEngine.aggregate_stats`, and the sharded plane's
+:func:`merged_latency_stats` (fed by worker telemetry).  They drifted
+apart once — sharded reports missing candidate/memory aggregates — so
+these tests assert key parity across all of them against the declared
+schema.
+"""
+
+from repro.cluster.merge import merged_latency_stats
+from repro.core.query import TopKQuery
+from repro.engine import StreamEngine
+from repro.engine.subscription import STATS_KEYS
+from repro.streams import make_dataset
+
+
+def run_local_engine(objects=600):
+    engine = StreamEngine(keep_results=False, return_results=False)
+    subscription = engine.subscribe("watch", TopKQuery(n=200, k=5, s=20))
+    engine.push_many(make_dataset("STOCK").take(objects))
+    engine.flush()
+    return engine, subscription
+
+
+class TestSchemaParity:
+    def test_subscription_stats_emits_exactly_the_schema(self):
+        _, subscription = run_local_engine()
+        assert tuple(subscription.stats()) == STATS_KEYS
+
+    def test_engine_aggregate_stats_matches_schema(self):
+        engine, _ = run_local_engine()
+        assert set(engine.aggregate_stats()) == set(STATS_KEYS)
+
+    def test_merged_latency_stats_matches_schema(self):
+        _, subscription = run_local_engine()
+        telemetry = {
+            "watch": {
+                "stats": subscription.stats(),
+                "latencies": list(subscription.metrics.latencies),
+                "shard": 0,
+            }
+        }
+        merged = merged_latency_stats([telemetry])
+        assert set(merged) == set(STATS_KEYS)
+
+    def test_merged_stats_agree_with_the_single_subscription(self):
+        # With exactly one subscription and an undecimated sample, the
+        # cluster merge must reproduce the local report.
+        _, subscription = run_local_engine()
+        stats = subscription.stats()
+        telemetry = {
+            "watch": {
+                "stats": stats,
+                "latencies": list(subscription.metrics.latencies),
+                "shard": 0,
+            }
+        }
+        merged = merged_latency_stats([telemetry])
+        assert merged["slides"] == stats["slides"]
+        assert merged["results_delivered"] == stats["results_delivered"]
+        assert merged["average_candidates"] == stats["average_candidates"]
+        assert merged["candidate_max"] == stats["candidate_max"]
+        assert merged["average_memory_kb"] == stats["average_memory_kb"]
+        assert merged["max_latency"] == stats["max_latency"]
+
+    def test_merge_tolerates_legacy_partial_stats(self):
+        # Older workers (or a crashed one's cached report) may ship only
+        # the core keys; the merge must still emit the full schema.
+        telemetry = {
+            "old": {
+                "stats": {
+                    "slides": 10,
+                    "results_delivered": 10,
+                    "max_latency": 0.5,
+                },
+                "latencies": [0.1] * 10,
+            }
+        }
+        merged = merged_latency_stats([telemetry])
+        assert set(merged) == set(STATS_KEYS)
+        assert merged["average_candidates"] == 0.0
+
+    def test_empty_cluster_emits_zeroed_schema(self):
+        merged = merged_latency_stats([{}])
+        assert set(merged) == set(STATS_KEYS)
+        assert all(value == 0.0 for value in merged.values())

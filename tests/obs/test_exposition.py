@@ -1,0 +1,147 @@
+"""Exposition: Prometheus text rendering, cluster merging, snapshot queries."""
+
+import pytest
+
+from repro.obs.exposition import (
+    find_series,
+    histogram_quantile,
+    merge_snapshots,
+    render_prometheus,
+    snapshot_value,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def make_snapshot(**counters):
+    registry = MetricsRegistry()
+    for name, value in counters.items():
+        registry.counter(name).inc(value)
+    return registry.snapshot()
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", "Things.", {"kind": "x"}).inc(3)
+        registry.gauge("repro_g", "Level.").set(1.5)
+        text = render_prometheus(registry.snapshot())
+        assert "# HELP repro_c_total Things." in text
+        assert "# TYPE repro_c_total counter" in text
+        assert 'repro_c_total{kind="x"} 3' in text
+        assert "# TYPE repro_g gauge" in text
+        assert "repro_g 1.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_expands_to_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_h", "", None, (1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        histogram.observe(9.0)
+        text = render_prometheus(registry.snapshot())
+        assert 'repro_h_bucket{le="1"} 1' in text
+        assert 'repro_h_bucket{le="2"} 2' in text
+        assert 'repro_h_bucket{le="+Inf"} 3' in text
+        assert "repro_h_sum 11" in text
+        assert "repro_h_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", labels={"q": 'a"b\\c'}).inc()
+        text = render_prometheus(registry.snapshot())
+        assert 'q="a\\"b\\\\c"' in text
+
+    def test_families_sorted_by_name(self):
+        text = render_prometheus(make_snapshot(z_total=1, a_total=1))
+        assert text.index("a_total") < text.index("z_total")
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_across_processes(self):
+        merged = merge_snapshots([make_snapshot(c_total=2), make_snapshot(c_total=5)])
+        assert snapshot_value(merged, "c_total") == 7.0
+
+    def test_extra_labels_keep_series_apart(self):
+        merged = merge_snapshots(
+            [make_snapshot(c_total=2), make_snapshot(c_total=5)],
+            extra_labels=[None, {"shard": "0"}],
+        )
+        assert snapshot_value(merged, "c_total", {"shard": "0"}) == 5.0
+        assert snapshot_value(merged, "c_total") == 7.0  # subset match sums all
+
+    def test_histograms_merge_bucketwise(self):
+        snapshots = []
+        for values in ((0.5, 1.5), (1.5, 9.0)):
+            registry = MetricsRegistry()
+            histogram = registry.histogram("h", buckets=(1.0, 2.0))
+            for value in values:
+                histogram.observe(value)
+            snapshots.append(registry.snapshot())
+        (record,) = merge_snapshots(snapshots)
+        assert record["buckets"] == [1, 2, 1]
+        assert record["count"] == 4
+        assert record["sum"] == pytest.approx(12.5)
+
+    def test_mismatched_bucket_layouts_raise(self):
+        snapshots = []
+        for buckets in ((1.0, 2.0), (1.0, 3.0)):
+            registry = MetricsRegistry()
+            registry.histogram("h", buckets=buckets).observe(1.5)
+            snapshots.append(registry.snapshot())
+        with pytest.raises(ValueError):
+            merge_snapshots(snapshots)
+
+    def test_type_conflict_raises(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x").set(1)
+        with pytest.raises(ValueError):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_gauges_keep_last_writer(self):
+        a = MetricsRegistry()
+        a.gauge("g").set(1)
+        b = MetricsRegistry()
+        b.gauge("g").set(9)
+        (record,) = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert record["value"] == 9.0
+
+    def test_empty_and_none_snapshots_are_tolerated(self):
+        merged = merge_snapshots([[], None, make_snapshot(c_total=1)])
+        assert snapshot_value(merged, "c_total") == 1.0
+
+
+class TestSnapshotQueries:
+    def test_find_series_subset_match(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"a": "1", "b": "2"}).inc()
+        registry.counter("c_total", labels={"a": "2"}).inc()
+        snapshot = registry.snapshot()
+        assert len(find_series(snapshot, "c_total")) == 2
+        assert len(find_series(snapshot, "c_total", {"a": "1"})) == 1
+        assert find_series(snapshot, "missing") == []
+
+    def test_snapshot_value_of_histogram_is_its_sum(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.25)
+        assert snapshot_value(registry.snapshot(), "h") == 0.25
+
+    def test_histogram_quantile_matches_registry_quantile(self):
+        # The snapshot-side estimator must agree with the live
+        # instrument's — repro top and stats() may not drift apart.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (1e-5, 3e-4, 2e-3, 2e-3, 0.05, 0.4, 2.0):
+            histogram.observe(value)
+        (record,) = registry.snapshot()
+        for fraction in (0.05, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert histogram_quantile(record, fraction) == pytest.approx(
+                histogram.quantile(fraction)
+            )
+
+    def test_histogram_quantile_empty_is_none(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        (record,) = registry.snapshot()
+        assert histogram_quantile(record, 0.95) is None

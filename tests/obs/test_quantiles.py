@@ -1,0 +1,83 @@
+"""The shared percentile helpers: the library's one implementation.
+
+Every stat surface (per-subscription collectors, the cluster merge,
+serving reports) routes through these helpers, so these tests pin the
+convention — nearest rank over the sorted sample — and the equivalences
+the call sites rely on.
+"""
+
+import pytest
+
+from repro.core.metrics import percentile
+from repro.obs.quantiles import (
+    STANDARD_FRACTIONS,
+    nearest_rank,
+    nearest_ranks,
+    weighted_nearest_rank,
+    weighted_nearest_ranks,
+)
+
+
+class TestNearestRank:
+    def test_single_value(self):
+        assert nearest_rank([7.0], 0.5) == 7.0
+        assert nearest_rank([7.0], 0.0) == 7.0
+        assert nearest_rank([7.0], 1.0) == 7.0
+
+    def test_selects_by_rounded_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert nearest_rank(values, 0.0) == 10.0
+        assert nearest_rank(values, 0.5) == 30.0
+        assert nearest_rank(values, 1.0) == 50.0
+
+    def test_input_order_is_irrelevant(self):
+        assert nearest_rank([50.0, 10.0, 30.0, 20.0, 40.0], 0.5) == 30.0
+
+    def test_many_fractions_one_sort(self):
+        values = list(range(100, 0, -1))
+        assert nearest_ranks(values, STANDARD_FRACTIONS) == [
+            nearest_rank(values, f) for f in STANDARD_FRACTIONS
+        ]
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 0.5)
+
+    def test_fraction_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 1.5)
+
+    def test_matches_core_metrics_percentile(self):
+        # repro.core.metrics.percentile delegates here; the surfaces must
+        # agree bit-for-bit.
+        values = [0.003, 0.001, 0.009, 0.002, 0.004, 0.007]
+        for fraction in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0):
+            assert percentile(values, fraction) == nearest_rank(values, fraction)
+
+
+class TestWeightedNearestRank:
+    def test_equal_weights_reduce_to_unweighted(self):
+        values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0]
+        samples = [(v, 1.0) for v in values]
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert weighted_nearest_rank(samples, fraction) == nearest_rank(
+                values, fraction
+            )
+
+    def test_weight_shifts_the_rank(self):
+        # One heavy slow sample outweighs many light fast ones.
+        samples = [(0.001, 1.0)] * 4 + [(1.0, 100.0)]
+        assert weighted_nearest_rank(samples, 0.5) == 1.0
+        # Unweighted, the median would be the fast value.
+        assert nearest_rank([v for v, _ in samples], 0.5) == 0.001
+
+    def test_many_fractions(self):
+        samples = [(float(i), float(i)) for i in range(1, 11)]
+        assert weighted_nearest_ranks(samples, (0.5, 0.99)) == [
+            weighted_nearest_rank(samples, 0.5),
+            weighted_nearest_rank(samples, 0.99),
+        ]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_nearest_rank([], 0.5)

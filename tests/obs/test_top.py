@@ -1,0 +1,89 @@
+"""The ``repro top`` dashboard: pure rendering over snapshot documents."""
+
+import io
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.top import render_dashboard, run_top
+
+
+def make_document(ts, events=0.0, slides=0.0, shard=None, latencies=()):
+    registry = MetricsRegistry()
+    labels = {"shard": shard} if shard is not None else None
+    registry.counter("repro_events_ingested_total", labels=labels).inc(events)
+    registry.counter("repro_slides_total", labels=labels).inc(slides)
+    histogram = registry.histogram("repro_deliver_latency_seconds", labels=labels)
+    for value in latencies:
+        histogram.observe(value)
+    return {"ts": ts, "metrics": registry.snapshot()}
+
+
+class TestRenderDashboard:
+    def test_header_and_counters_without_previous(self):
+        frame = render_dashboard(make_document(1000.0, events=500), color=False)
+        assert frame.startswith("repro top")
+        # No previous snapshot: every rate reads 0.
+        assert "events/s 0" in frame
+
+    def test_rates_from_two_snapshots(self):
+        previous = make_document(1000.0, events=100, slides=10)
+        current = make_document(1002.0, events=300, slides=20)
+        frame = render_dashboard(current, previous, color=False)
+        assert "events/s 100" in frame  # (300-100)/2s
+        assert "slides/s 5" in frame
+
+    def test_counter_reset_clamps_to_zero(self):
+        previous = make_document(1000.0, events=500)
+        current = make_document(1001.0, events=100)  # restarted process
+        frame = render_dashboard(current, previous, color=False)
+        assert "events/s 0" in frame
+
+    def test_latency_quantiles_from_merged_histogram(self):
+        frame = render_dashboard(
+            make_document(1000.0, latencies=[0.003] * 20), color=False
+        )
+        assert "latency p50" in frame
+        assert "ms" in frame
+
+    def test_per_shard_table_appears_with_shard_labels(self):
+        document = make_document(1000.0, events=40, shard="0")
+        frame = render_dashboard(document, color=False)
+        assert "shard" in frame
+        assert "\n       0 " in frame  # shard row, right-aligned id
+
+    def test_no_shard_table_without_shard_labels(self):
+        frame = render_dashboard(make_document(1000.0, events=40), color=False)
+        assert "shard" not in frame
+
+    def test_color_frames_carry_ansi(self):
+        assert "\x1b[1m" in render_dashboard(make_document(1000.0), color=True)
+        assert "\x1b" not in render_dashboard(make_document(1000.0), color=False)
+
+    def test_stage_table_lists_nonempty_stages(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "repro_stage_seconds", labels={"stage": "merge"}
+        ).observe(0.001)
+        registry.histogram("repro_stage_seconds", labels={"stage": "idle"})
+        frame = render_dashboard(
+            {"ts": 1000.0, "metrics": registry.snapshot()}, color=False
+        )
+        assert "merge" in frame
+        assert "idle" not in frame  # zero-count stages stay hidden
+
+
+class TestRunTop:
+    def test_polls_and_renders_iterations(self, monkeypatch):
+        documents = iter(
+            [make_document(1000.0, events=10), make_document(1001.0, events=30)]
+        )
+        monkeypatch.setattr(
+            "repro.obs.top.fetch_snapshot", lambda url, timeout=5.0: next(documents)
+        )
+        out = io.StringIO()
+        frames = run_top(
+            "http://x/metrics.json", interval=0.0, iterations=2, stream=out
+        )
+        assert frames == 2
+        text = out.getvalue()
+        assert text.count("repro top") == 2
+        assert "events/s 20" in text  # second frame sees the delta

@@ -1,0 +1,124 @@
+"""Pipeline tracing: span buffers, the wire form, and the Chrome export."""
+
+import json
+
+from repro.obs.tracing import (
+    SPAN_CAPACITY,
+    STAGES,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span_payload,
+    spans_from_payload,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class TestTracer:
+    def test_off_by_default(self):
+        assert Tracer().enabled is False
+
+    def test_record_and_drain(self):
+        tracer = Tracer(shard=3)
+        tracer.enable()
+        tracer.record("push", 7, 100.0, 0.25, "objects=50")
+        tracer.record("seal", 8, 101.0, 0.5)
+        spans = tracer.drain()
+        assert spans == [
+            Span("push", 7, 100.0, 0.25, 3, "objects=50"),
+            Span("seal", 8, 101.0, 0.5, 3, ""),
+        ]
+        assert tracer.drain() == []  # drain empties the buffer
+
+    def test_span_context_manager_times_the_block(self):
+        tracer = Tracer()
+        with tracer.span("merge", 5, "members=2"):
+            pass
+        (span,) = tracer.drain()
+        assert span.stage == "merge"
+        assert span.slide == 5
+        assert span.shard == -1
+        assert span.duration >= 0.0
+
+    def test_buffer_is_bounded_keeping_most_recent(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            tracer.record("push", index, float(index), 0.0)
+        assert [span.slide for span in tracer.drain()] == [6, 7, 8, 9]
+
+    def test_default_capacity(self):
+        assert Tracer()._spans.maxlen == SPAN_CAPACITY
+
+    def test_set_tracer_swaps_process_default(self):
+        replacement = Tracer(shard=9)
+        previous = set_tracer(replacement)
+        try:
+            assert get_tracer() is replacement
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+
+class TestWireForm:
+    def test_payload_round_trip(self):
+        spans = [
+            Span("encode", 1, 10.0, 0.1, -1, "bytes=128"),
+            Span("decode", 1, 10.2, 0.05, 2, ""),
+        ]
+        payload = span_payload(spans)
+        assert payload[0] == {
+            "stage": "encode",
+            "slide": 1,
+            "start": 10.0,
+            "duration": 0.1,
+            "shard": -1,
+            "detail": "bytes=128",
+        }
+        # The payload must survive JSON (it crosses processes and lands
+        # in trace files).
+        restored = spans_from_payload(json.loads(json.dumps(payload)))
+        assert restored == spans
+
+
+class TestChromeTrace:
+    def test_empty_trace(self):
+        assert to_chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_events_are_rebased_and_labelled(self):
+        spans = [
+            Span("send", 4, 100.0, 0.001, -1, ""),
+            Span("decode", 4, 100.5, 0.002, 1, "bytes=64"),
+        ]
+        document = to_chrome_trace(spans)
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 2
+        first, second = complete
+        assert first["ts"] == 0.0  # rebased to the earliest span
+        assert second["ts"] == 500000.0  # 0.5s later, in microseconds
+        assert second["dur"] == 2000.0
+        assert second["pid"] == 1
+        assert second["args"] == {"slide": 4, "detail": "bytes=64"}
+        # Both correlated events carry the same slide id.
+        assert first["args"]["slide"] == second["args"]["slide"]
+
+    def test_metadata_names_processes_and_stages(self):
+        spans = [Span("push", 0, 1.0, 0.1, 2, "")]
+        metadata = [
+            e for e in to_chrome_trace(spans)["traceEvents"] if e["ph"] == "M"
+        ]
+        process_names = [
+            e["args"]["name"] for e in metadata if e["name"] == "process_name"
+        ]
+        assert process_names == ["shard 2"]
+        thread_names = [
+            e["args"]["name"] for e in metadata if e["name"] == "thread_name"
+        ]
+        assert thread_names == list(STAGES)
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        spans = [Span("deliver", 3, 5.0, 0.01, 0, "q")]
+        document = write_chrome_trace(spans, str(path))
+        assert json.loads(path.read_text()) == document

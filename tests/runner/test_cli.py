@@ -196,3 +196,63 @@ class TestGeneratedDocstring:
             if isinstance(action, __import__("argparse")._SubParsersAction)
         )
         assert sorted(subparsers.choices) == sorted(c.name for c in cli.COMMANDS)
+
+
+class TestObservabilityCommands:
+    def test_top_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.url.endswith("/metrics.json")
+        assert args.interval == 1.0
+        assert args.iterations is None
+
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.shards == 2
+        assert args.output == "trace.json"
+
+    def test_top_command_renders_frames(self, capsys, monkeypatch):
+        documents = iter(
+            [
+                {"ts": 1000.0, "metrics": []},
+                {"ts": 1001.0, "metrics": []},
+            ]
+        )
+        monkeypatch.setattr(
+            "repro.obs.top.fetch_snapshot", lambda url, timeout=5.0: next(documents)
+        )
+        code = main(
+            ["top", "--iterations", "2", "--interval", "0", "--no-color"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.count("repro top") == 2
+
+    def test_top_command_fails_cleanly_when_unreachable(self, capsys):
+        code = main(
+            ["top", "--url", "http://127.0.0.1:9/metrics.json", "--iterations", "1"]
+        )
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().out
+
+    def test_trace_command_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "--objects", "2000",
+                "--n", "200",
+                "--s", "20",
+                "--queries", "2",
+                "--shards", "2",
+                "-o", str(path),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "spans" in printed
+        document = json.loads(path.read_text())
+        stages = {
+            event["cat"] for event in document["traceEvents"] if event["ph"] == "X"
+        }
+        assert {"encode", "send", "decode", "push", "deliver"} <= stages
