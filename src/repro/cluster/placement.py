@@ -48,6 +48,21 @@ class PlacementPolicy(ABC):
             return 1.0
         return 1.0 + 1.0 / query.s
 
+    def place_preference(
+        self, query: TopKQuery, cluster_id: int, loads: Sequence[float]
+    ) -> int:
+        """The shard of a preference-clustered subscription.
+
+        The default — for *every* policy — hashes the cluster id, because
+        a cluster's shared plan only exists on shards hosting at least two
+        of its members: scattering a cluster across shards silently
+        degrades every member to its private plan.  Policies that prefer
+        spreading over sharing can override this.
+        """
+        if not loads:
+            raise ValueError("no shards to place on")
+        return zlib.crc32(f"cluster:{int(cluster_id)}".encode("ascii")) % len(loads)
+
 
 class HashWindowPlacement(PlacementPolicy):
     """Deterministic window-shape hashing (preserves k_max plan sharing)."""
@@ -74,10 +89,28 @@ class LeastLoadedPlacement(PlacementPolicy):
         return min(range(len(loads)), key=lambda shard: (loads[shard], shard))
 
 
+class ClusterAffinePlacement(PlacementPolicy):
+    """Cluster-id hashing for preference queries, window hashing otherwise.
+
+    The explicit policy for preference-heavy workloads: every member of a
+    preference cluster lands on one shard (so the cluster's padded-k
+    shared plan stays whole), and plain subscriptions keep the window-
+    shape affinity of :class:`HashWindowPlacement`.  ``place_preference``
+    is inherited — the base class already hashes the cluster id — so this
+    class mostly *names* the behaviour for the CLI and the serve config.
+    """
+
+    name = "hash-cluster"
+
+    def place(self, query: TopKQuery, loads: Sequence[float]) -> int:
+        return HashWindowPlacement().place(query, loads)
+
+
 #: Built-in policies, keyed by the names the CLI exposes.
 PLACEMENT_POLICIES: Dict[str, Type[PlacementPolicy]] = {
     HashWindowPlacement.name: HashWindowPlacement,
     LeastLoadedPlacement.name: LeastLoadedPlacement,
+    ClusterAffinePlacement.name: ClusterAffinePlacement,
 }
 
 

@@ -38,6 +38,7 @@ from ..obs.tracing import Tracer, set_tracer, span_payload
 SYNC_OPS = frozenset(
     {
         "subscribe",
+        "update_preference",
         "unsubscribe",
         "flush",
         "sync",
@@ -314,6 +315,8 @@ def shard_worker_main(
                     collect_metrics=metrics,
                     **options,
                 )
+            elif op == "update_preference":
+                payload = engine.update_preference(message[1], message[2])
             elif op == "unsubscribe":
                 engine.unsubscribe(message[1])
             elif op == "flush":

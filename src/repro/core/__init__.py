@@ -13,6 +13,14 @@ from .result import TopKResult, results_agree
 from .window import SlideEvent, SlidingWindow, count_based_slides, slides_for_query, time_based_slides
 from .interface import ContinuousTopKAlgorithm
 from .candidates import CandidateEntry, CandidateSet
+from .clustering import (
+    ClusterSharedPlan,
+    ClusterSpace,
+    ClusteredTopK,
+    linear_score,
+    linear_scores,
+    validate_vector,
+)
 from .partition import Partition, PartitionSpec, UnitSummary, build_partition
 from .framework import SAPTopK
 
@@ -38,6 +46,12 @@ __all__ = [
     "ContinuousTopKAlgorithm",
     "CandidateSet",
     "CandidateEntry",
+    "ClusterSpace",
+    "ClusterSharedPlan",
+    "ClusteredTopK",
+    "linear_score",
+    "linear_scores",
+    "validate_vector",
     "Partition",
     "PartitionSpec",
     "UnitSummary",

@@ -62,6 +62,7 @@ class EngineCore:
         self._open_groups: Dict[GroupKey, QueryGroup] = {}
         self._default_keep_results = keep_results
         self._return_results = return_results
+        self._cluster_space = None
         self._closed = False
         self._obs_ingested = get_registry().counter(
             "repro_events_ingested_total",
@@ -130,6 +131,82 @@ class EngineCore:
         self._group_for(instance.query).add(subscription)
         self._subscriptions[name] = subscription
         return subscription
+
+    def subscribe_preference(
+        self,
+        name: str,
+        spec: Union[QuerySpec, TopKQuery],
+        vector: Iterable[float],
+        algorithm: str = "SAP",
+        *,
+        cluster_id: Optional[int] = None,
+        pad_factor: Optional[float] = None,
+        keep_results: Optional[bool] = None,
+        result_buffer: Optional[int] = None,
+        collect_metrics: bool = True,
+        on_result: Optional[ResultCallback] = None,
+        **algorithm_options: object,
+    ) -> Subscription:
+        """Register a query scored by a linear preference vector.
+
+        The subscription's answers rank the stream by ``vector ·
+        attributes(payload)`` instead of the pre-scored ``score`` field.
+        Vectors are clustered (:class:`repro.core.clustering.ClusterSpace`)
+        and co-windowed members of one cluster share a single padded-k
+        execution plan of the ``algorithm`` (a registry name), each member
+        answering by vectorized re-ranking of the shared candidates — see
+        :mod:`repro.core.clustering` for the exactness guard.
+
+        ``cluster_id`` overrides the engine's own cluster assignment (the
+        sharded facade assigns ids centrally and passes them down);
+        ``pad_factor`` tunes the shared candidate padding.  All other
+        parameters match :meth:`subscribe`.
+        """
+        from ..core.clustering import validate_vector
+
+        vector = validate_vector(vector)
+        if cluster_id is None:
+            cluster_id = self.cluster_space().assign(vector)
+        options = dict(algorithm_options)
+        options["vector"] = vector
+        options["cluster_id"] = int(cluster_id)
+        options["inner"] = algorithm
+        if pad_factor is not None:
+            options["pad_factor"] = float(pad_factor)
+        return self.subscribe(
+            name,
+            spec,
+            "clustered",
+            keep_results=keep_results,
+            result_buffer=result_buffer,
+            collect_metrics=collect_metrics,
+            on_result=on_result,
+            **options,
+        )
+
+    def update_preference(self, name: str, vector: Iterable[float]) -> Dict[str, object]:
+        """Re-declare one preference subscription's vector mid-stream.
+
+        Returns the member's cluster record (id, mode, counters).  A
+        vector that drifts outside its cluster's envelope flips the member
+        to exact per-slide fallback and bumps the MAPE-K-visible drift
+        counter; it never changes the answers' exactness.
+        """
+        subscription = self.subscription(name)
+        update = getattr(subscription.algorithm, "update_vector", None)
+        if update is None:
+            raise AlgorithmStateError(
+                f"subscription {name!r} was not created by subscribe_preference"
+            )
+        return update(vector)
+
+    def cluster_space(self):
+        """The engine's preference-cluster assignment state (lazy)."""
+        if self._cluster_space is None:
+            from ..core.clustering import ClusterSpace
+
+            self._cluster_space = ClusterSpace()
+        return self._cluster_space
 
     def unsubscribe(self, name: str) -> None:
         """Close and remove one query."""

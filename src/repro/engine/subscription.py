@@ -161,9 +161,18 @@ class Subscription:
         return self._group.window_size() if self._group is not None else 0
 
     def snapshot(self) -> Dict[str, object]:
-        """Point-in-time view of the subscription's state."""
+        """Point-in-time view of the subscription's state.
+
+        Preference-clustered subscriptions additionally carry a
+        ``"cluster"`` record (cluster id, shared/private/drifted mode,
+        re-rank and fallback counters) — the surface the serve layer's
+        inspect endpoint and the control plane read.
+        """
         latest = self.latest()
+        cluster_info = getattr(self.algorithm, "cluster_info", None)
+        extras = {} if cluster_info is None else {"cluster": cluster_info()}
         return {
+            **extras,
             "name": self.name,
             "algorithm": self.algorithm.name,
             "query": self.query.describe(),

@@ -100,6 +100,19 @@ def _shard_ids(metrics: Sequence[Dict[str, object]]) -> List[str]:
     return sorted(shards, key=lambda s: (len(s), s))
 
 
+def _cluster_ids(metrics: Sequence[Dict[str, object]]) -> List[Dict[str, str]]:
+    """The ``{cluster, inner}`` label sets of every preference cluster."""
+    seen: Dict[tuple, Dict[str, str]] = {}
+    for record in metrics:
+        labels = record.get("labels") or {}
+        cluster = labels.get("cluster")
+        if cluster is None:
+            continue
+        key = (str(cluster), str(labels.get("inner", "?")))
+        seen.setdefault(key, {"cluster": key[0], "inner": key[1]})
+    return [seen[key] for key in sorted(seen, key=lambda k: (len(k[0]), k))]
+
+
 def render_dashboard(
     current: Dict[str, object],
     previous: Optional[Dict[str, object]] = None,
@@ -164,6 +177,31 @@ def render_dashboard(
                 f"  {shard:>6} {_fmt_count(events):>10} {_fmt_count(slides):>8} "
                 f"{_fmt_count(cands):>8} {_fmt_count(ring):>6} "
                 f"{_fmt_count(shard_shed):>6} {_fmt_count(shard_bp):>6}"
+            )
+
+    clusters = _cluster_ids(metrics)
+    if clusters:
+        lines.append("")
+        lines.append(
+            f"  {dim}{'cluster':>8} {'inner':>8} {'members':>8} {'rerank/s':>9} "
+            f"{'fallbk/s':>9} {'hit%':>6} {'drift':>6}{reset}"
+        )
+        for sel in clusters:
+            members = snapshot_value(metrics, "repro_cluster_members", sel)
+            reranks = _rate(current, previous, "repro_cluster_rerank_total", sel)
+            fallbacks = _rate(current, previous, "repro_cluster_fallback_total", sel)
+            # Lifetime hit rate: shared answers over all answers (the
+            # MAPE-K signal — a falling hit rate says the cluster's
+            # envelope is too loose for its members).
+            total_rerank = snapshot_value(metrics, "repro_cluster_rerank_total", sel)
+            total_fallback = snapshot_value(metrics, "repro_cluster_fallback_total", sel)
+            answered = total_rerank + total_fallback
+            hit = f"{100.0 * total_rerank / answered:.1f}" if answered else "-"
+            drift = snapshot_value(metrics, "repro_cluster_drift_total", sel)
+            lines.append(
+                f"  {sel['cluster']:>8} {sel['inner']:>8} {_fmt_count(members):>8} "
+                f"{_fmt_count(reranks):>9} {_fmt_count(fallbacks):>9} "
+                f"{hit:>6} {_fmt_count(drift):>6}"
             )
 
     stage = _merged_histogram(metrics, "repro_stage_seconds")

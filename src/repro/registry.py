@@ -27,7 +27,7 @@ algorithm class works directly because its constructor has that shape.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from .core.interface import ContinuousTopKAlgorithm
 from .core.query import TopKQuery
@@ -37,15 +37,28 @@ AlgorithmFactory = Callable[..., ContinuousTopKAlgorithm]
 
 @dataclass(frozen=True)
 class AlgorithmInfo:
-    """One registry entry: the public name, the factory, and a description."""
+    """One registry entry: the public name, the factory, and a description.
+
+    ``example_options`` carries a minimal set of keyword options that make
+    the factory constructible from a query alone — empty for the classic
+    score-ordered algorithms, and e.g. ``{"vector": ...}`` for preference
+    algorithms whose constructor has required options.  Generic tooling
+    (smoke tests, doc generators) uses :meth:`create_example` instead of
+    guessing at required arguments.
+    """
 
     name: str
     factory: AlgorithmFactory = field(compare=False)
     description: str = ""
+    example_options: Dict[str, object] = field(default_factory=dict, compare=False)
 
     def create(self, query: TopKQuery, **options: object) -> ContinuousTopKAlgorithm:
         """Instantiate the algorithm for ``query``."""
         return self.factory(query, **options)
+
+    def create_example(self, query: TopKQuery) -> ContinuousTopKAlgorithm:
+        """Instantiate with the entry's example options (generic tooling)."""
+        return self.factory(query, **self.example_options)
 
 
 _REGISTRY: Dict[str, AlgorithmInfo] = {}
@@ -56,6 +69,7 @@ def register_algorithm(
     *,
     description: str = "",
     replace: bool = False,
+    example_options: Optional[Dict[str, object]] = None,
 ) -> Callable[[AlgorithmFactory], AlgorithmFactory]:
     """Class/function decorator adding a factory to the global registry.
 
@@ -64,7 +78,13 @@ def register_algorithm(
     """
 
     def decorator(factory: AlgorithmFactory) -> AlgorithmFactory:
-        register_factory(name, factory, description=description, replace=replace)
+        register_factory(
+            name,
+            factory,
+            description=description,
+            replace=replace,
+            example_options=example_options,
+        )
         return factory
 
     return decorator
@@ -76,6 +96,7 @@ def register_factory(
     *,
     description: str = "",
     replace: bool = False,
+    example_options: Optional[Dict[str, object]] = None,
 ) -> AlgorithmInfo:
     """Non-decorator form of :func:`register_algorithm`."""
     if not name:
@@ -86,7 +107,12 @@ def register_factory(
         raise ValueError(
             f"algorithm {name!r} is already registered; pass replace=True to overwrite"
         )
-    info = AlgorithmInfo(name=name, factory=factory, description=description)
+    info = AlgorithmInfo(
+        name=name,
+        factory=factory,
+        description=description,
+        example_options=dict(example_options or {}),
+    )
     _REGISTRY[name] = info
     return info
 
@@ -176,6 +202,33 @@ def _register_builtins() -> None:
         BruteForceTopK,
         description="exact oracle recomputing the answer from the whole window",
     )
+    register_factory(
+        "clustered",
+        _make_clustered,
+        description=(
+            "linear-preference query sharing one padded-k cluster plan "
+            "(vector=..., inner=<algorithm name>)"
+        ),
+        example_options={"vector": (1.0, 1.0, 1.0)},
+    )
+
+
+def _make_clustered(query: TopKQuery, **options: object) -> ContinuousTopKAlgorithm:
+    """Factory of the preference-clustering member algorithm.
+
+    Imported lazily: :mod:`repro.core.clustering` resolves its inner
+    algorithm through this registry, so a module-level import would cycle.
+    """
+    from .core.clustering import ClusteredTopK
+    from .core.exceptions import InvalidQueryError
+
+    if "vector" not in options:
+        raise InvalidQueryError(
+            "the 'clustered' algorithm scores by a linear preference: pass "
+            "vector=<non-negative weights>, e.g. "
+            "create_algorithm('clustered', query, vector=(1.0, 0.5, 0.2))"
+        )
+    return ClusteredTopK(query, **options)
 
 
 _register_builtins()

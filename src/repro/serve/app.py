@@ -322,7 +322,15 @@ class TopKServer:
         assert self._loop is not None
         return await self._loop.run_in_executor(self._executor, fn, *args)
 
-    def _subscribe_engine(self, name: str, query: TopKQuery, algorithm: str):
+    def _subscribe_engine(
+        self, name: str, query: TopKQuery, algorithm: str, preference=None
+    ):
+        if preference is not None:
+            # Both engine planes (local and sharded) expose the same
+            # preference surface; ``algorithm`` names the inner core.
+            return self._engine.subscribe_preference(
+                name, query, preference, algorithm=algorithm
+            )
         return self._engine.subscribe(name, query, algorithm=algorithm)
 
     def _push_and_drain(self, batch) -> Dict[str, List]:
@@ -364,6 +372,24 @@ class TopKServer:
             raise ProtocolError(
                 400, f"unknown algorithm {algorithm!r}; have {algorithm_names()}"
             )
+        preference = body.get("preference")
+        if preference is not None:
+            from ..core.clustering import validate_vector
+
+            try:
+                preference = validate_vector(preference)
+            except InvalidQueryError as exc:
+                raise ProtocolError(400, f"invalid preference vector: {exc}") from None
+            if algorithm == "clustered":
+                # "clustered" is the wrapper itself; a preference query's
+                # ``algorithm`` names the inner core it shares.
+                algorithm = "SAP"
+        elif algorithm == "clustered":
+            raise ProtocolError(
+                400,
+                "the 'clustered' algorithm needs a 'preference' vector; "
+                "declare one (and name the inner algorithm in 'algorithm')",
+            )
         try:
             query = TopKQuery(
                 n=int(body["n"]),
@@ -379,13 +405,18 @@ class TopKServer:
         self.admission.admit()  # raises AdmissionError -> 429
         try:
             handle = await self._engine_call(
-                self._subscribe_engine, name, query, algorithm
+                self._subscribe_engine, name, query, algorithm, preference
             )
         except BaseException:
             self.admission.release()
             raise
         session = Session(
-            name, query, algorithm, handle, history=self.config.result_history
+            name,
+            query,
+            algorithm,
+            handle,
+            history=self.config.result_history,
+            preference=preference,
         )
         self.registry.add(session)
         self.batcher.set_alignment(self.registry.slide_sizes())

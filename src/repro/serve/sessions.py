@@ -46,12 +46,21 @@ class Session:
     """One served subscription: engine handle plus connected clients."""
 
     def __init__(
-        self, name: str, query, algorithm: str, handle, *, history: int = 1024
+        self,
+        name: str,
+        query,
+        algorithm: str,
+        handle,
+        *,
+        history: int = 1024,
+        preference=None,
     ) -> None:
         self.name = name
         self.query = query
         self.algorithm = algorithm
         self.handle = handle
+        #: Declared linear preference vector (None for pre-scored queries).
+        self.preference = tuple(preference) if preference is not None else None
         self.created_at = time.time()
         self.channels: Set[ClientChannel] = set()
         #: Bounded answer history served by the REST polling endpoint
@@ -96,7 +105,11 @@ class Session:
 
     def describe(self) -> Dict[str, object]:
         """The subscription record of the REST API (no engine round-trip)."""
+        extras = (
+            {} if self.preference is None else {"preference": list(self.preference)}
+        )
         return {
+            **extras,
             "name": self.name,
             "query": {
                 "n": self.query.n,
@@ -114,9 +127,15 @@ class Session:
 
     def stats(self) -> Dict[str, object]:
         """The record plus the engine's aggregate statistics (one engine
-        round-trip; includes the p50/p95/p99 latency percentiles)."""
+        round-trip; includes the p50/p95/p99 latency percentiles).
+
+        Preference subscriptions add their ``cluster`` record — id,
+        shared/private/drifted mode, re-rank and fallback counters — read
+        from the engine snapshot in the same round-trip."""
         record = self.describe()
         record["engine"] = self.handle.stats()
+        if self.preference is not None:
+            record["cluster"] = self.handle.snapshot().get("cluster")
         return record
 
 

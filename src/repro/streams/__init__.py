@@ -10,6 +10,8 @@ property for every algorithm under study: the joint distribution of
 from .source import ListSource, StreamSource, materialise
 from .io import CSVStream
 from .preference import (
+    PreferenceError,
+    linear_preference,
     stock_preference,
     trip_preference,
     planet_preference,
@@ -30,6 +32,8 @@ __all__ = [
     "ListSource",
     "CSVStream",
     "materialise",
+    "PreferenceError",
+    "linear_preference",
     "stock_preference",
     "trip_preference",
     "planet_preference",

@@ -14,7 +14,8 @@ import csv
 from typing import Callable, Dict, Iterator, List, Optional
 
 from ..core.object import StreamObject
-from .source import StreamSource
+from .preference import PreferenceError
+from .source import StreamSource, _dropped_counter
 
 RowPreference = Callable[[Dict[str, str]], float]
 
@@ -31,7 +32,12 @@ class CSVStream(StreamSource):
         ``preference``.
     preference:
         Function computing the score from the row dictionary (all values are
-        strings, exactly as the csv module provides them).
+        strings, exactly as the csv module provides them).  Rows the
+        function cannot score (it raises
+        :class:`~repro.streams.preference.PreferenceError`) are dropped and
+        counted in :attr:`dropped` — real files contain the occasional
+        zero-duration trip, and one bad row must not kill the stream.
+        Arrival orders are assigned to admitted rows only.
     timestamp_column:
         Optional column holding an integer timestamp for time-based windows.
     delimiter:
@@ -55,6 +61,8 @@ class CSVStream(StreamSource):
         self.preference = preference
         self.timestamp_column = timestamp_column
         self.delimiter = delimiter
+        #: Rows dropped because ``preference`` raised PreferenceError.
+        self.dropped = 0
 
     def _score(self, row: Dict[str, str]) -> float:
         if self.preference is not None:
@@ -70,15 +78,21 @@ class CSVStream(StreamSource):
     def objects(self, count: Optional[int] = None) -> Iterator[StreamObject]:
         with open(self.path, newline="") as handle:
             reader = csv.DictReader(handle, delimiter=self.delimiter)
-            for t, row in enumerate(reader):
+            t = 0
+            for row in reader:
                 if count is not None and t >= count:
                     break
+                try:
+                    score = self._score(row)
+                except PreferenceError:
+                    self.dropped += 1
+                    _dropped_counter(self.name).inc()
+                    continue
                 timestamp = None
                 if self.timestamp_column is not None:
                     timestamp = int(float(row[self.timestamp_column]))
-                yield StreamObject(
-                    score=self._score(row), t=t, payload=row, timestamp=timestamp
-                )
+                yield StreamObject(score=score, t=t, payload=row, timestamp=timestamp)
+                t += 1
 
     def take(self, count: Optional[int] = None) -> List[StreamObject]:
         return list(self.objects(count))

@@ -6,12 +6,34 @@ continuous top-k query, mirroring Section 6.1 of the paper:
 * STOCK — ``F = price × volume`` (transaction significance);
 * TRIP — ``F = distance / (drop-off − pick-up)`` (average trip speed);
 * PLANET — ``F = dist(record, query point)`` (observation distance).
+
+Real feeds contain records no preference function can score — the canonical
+example is a taxi trip whose drop-off equals its pick-up (metered while
+parked, or a clock-granularity artefact), which makes the TRIP speed
+``dis / 0`` undefined.  Such records raise :class:`PreferenceError`, and the
+stream sources (:class:`~repro.streams.source.ListSource`,
+:class:`~repro.streams.io.CSVStream`) *drop* them with a counter instead of
+tearing down the stream: one malformed record must never kill a continuous
+query that has been running for days.  Dropped records are not assigned
+arrival orders, so the admitted stream keeps the contiguous ``t`` sequence
+the count-based window algorithms rely on.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Callable, Sequence, Tuple
+
+
+class PreferenceError(ValueError):
+    """A record the preference function cannot score.
+
+    Raised by the built-in preference functions on malformed records
+    (zero-duration trips, non-numeric fields).  Stream sources treat it as
+    "drop this record and count it" rather than a stream-fatal error; any
+    other exception still propagates, because it signals a bug rather than
+    a bad record.
+    """
 
 
 def stock_preference(transaction) -> float:
@@ -20,10 +42,18 @@ def stock_preference(transaction) -> float:
 
 
 def trip_preference(trip) -> float:
-    """Average speed of a taxi trip: distance over duration."""
+    """Average speed of a taxi trip: distance over duration.
+
+    Zero- or negative-duration trips (drop-off at or before pick-up) have
+    no defined speed; they raise :class:`PreferenceError` so sources drop
+    them mid-stream instead of crashing the feed.
+    """
     duration = float(trip.dropoff_time) - float(trip.pickup_time)
     if duration <= 0:
-        raise ValueError("trip duration must be positive")
+        raise PreferenceError(
+            f"trip duration must be positive, got {duration!r} "
+            "(drop-off at or before pick-up)"
+        )
     return float(trip.distance) / duration
 
 
@@ -32,3 +62,38 @@ def planet_preference(observation, query_point: Tuple[float, float] = (0.0, 0.0)
     dx = float(observation.x) - query_point[0]
     dy = float(observation.y) - query_point[1]
     return math.hypot(dx, dy)
+
+
+def linear_preference(weights: Sequence[float]) -> Callable[[object], float]:
+    """A linear scoring function ``w · attributes(record)``.
+
+    The per-record twin of the cluster plane's canonical batch scorer
+    (:func:`repro.core.clustering.linear_scores`): records whose attributes
+    are missing or malformed raise :class:`PreferenceError` (sources drop
+    them), and scorable records are scored through the *same* code path the
+    shared cluster plans use, so a stream pre-scored with
+    ``linear_preference(w)`` is byte-identical to a preference subscription
+    on ``w`` whose exactness guard holds.
+    """
+    from ..core.clustering import (
+        UNATTRIBUTED_SCORE,
+        attributes_of_payload,
+        linear_score,
+        validate_vector,
+    )
+
+    vector = validate_vector(weights)
+    dim = len(vector)
+
+    def score(record: object) -> float:
+        attributes = attributes_of_payload(record, dim)
+        if attributes is None:
+            raise PreferenceError(
+                f"record has no usable {dim}-dimensional attributes: {record!r}"
+            )
+        value = linear_score(vector, attributes)
+        if value == UNATTRIBUTED_SCORE:
+            raise PreferenceError(f"record is unscorable: {record!r}")
+        return value
+
+    return score

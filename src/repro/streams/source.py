@@ -12,6 +12,17 @@ from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
 
 from ..core.object import StreamObject
+from ..obs.registry import get_registry
+from .preference import PreferenceError
+
+
+def _dropped_counter(source: str):
+    """The library-wide unscorable-record counter, labelled by source."""
+    return get_registry().counter(
+        "repro_preference_dropped_total",
+        "records dropped because the preference function could not score them",
+        labels={"source": source},
+    )
 
 
 class StreamSource(ABC):
@@ -51,7 +62,12 @@ class ListSource(StreamSource):
         The raw values.  When ``preference`` is omitted the values must be
         numeric and are used as the scores directly.
     preference:
-        Optional preference function applied to each value.
+        Optional preference function applied to each value.  Values the
+        function cannot score (it raises
+        :class:`~repro.streams.preference.PreferenceError`) are dropped
+        and counted in :attr:`dropped`; arrival orders are assigned to
+        admitted values only, so the emitted ``t`` sequence stays
+        contiguous.
     name:
         Optional display name.
     """
@@ -65,16 +81,27 @@ class ListSource(StreamSource):
         self._values = list(values)
         self._preference = preference
         self.name = name
+        #: Records dropped because ``preference`` raised PreferenceError.
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._values)
 
     def objects(self, count: Optional[int] = None) -> Iterator[StreamObject]:
         limit = len(self._values) if count is None else min(count, len(self._values))
-        for t in range(limit):
-            value = self._values[t]
-            score = self._preference(value) if self._preference else float(value)
+        t = 0
+        for value in self._values[:limit]:
+            if self._preference is not None:
+                try:
+                    score = self._preference(value)
+                except PreferenceError:
+                    self.dropped += 1
+                    _dropped_counter(self.name).inc()
+                    continue
+            else:
+                score = float(value)
             yield StreamObject(score=score, t=t, payload=value)
+            t += 1
 
 
 def materialise(scores: Iterable[float], start_t: int = 0) -> List[StreamObject]:

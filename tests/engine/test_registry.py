@@ -32,10 +32,31 @@ class TestBuiltins:
         } <= set(algorithm_names())
 
     def test_create_builds_algorithm_for_query(self):
+        # Every entry is constructible through its own example options —
+        # empty for the classic algorithms, vector=... for "clustered".
         query = TopKQuery(n=50, k=3, s=5)
         for name in algorithm_names():
+            algorithm = get_algorithm(name).create_example(query)
+            assert algorithm.query is query, name
+
+    def test_classic_entries_need_no_options(self):
+        query = TopKQuery(n=50, k=3, s=5)
+        for name in algorithm_names():
+            if get_algorithm(name).example_options:
+                continue
             algorithm = create_algorithm(name, query)
             assert algorithm.query is query, name
+
+    def test_clustered_requires_a_vector(self):
+        from repro.core.clustering import ClusteredTopK
+        from repro.core.exceptions import InvalidQueryError
+
+        query = TopKQuery(n=50, k=3, s=5)
+        info = get_algorithm("clustered")
+        assert "vector" in info.example_options
+        assert isinstance(info.create_example(query), ClusteredTopK)
+        with pytest.raises(InvalidQueryError, match="vector"):
+            create_algorithm("clustered", query)
 
     def test_unknown_name_lists_known(self):
         with pytest.raises(KeyError, match="SAP"):

@@ -71,6 +71,43 @@ class TestRenderDashboard:
         assert "idle" not in frame  # zero-count stages stay hidden
 
 
+def make_cluster_document(ts, reranks=0.0, fallbacks=0.0, drifts=0.0, members=0):
+    registry = MetricsRegistry()
+    labels = {"cluster": "0", "inner": "SAP"}
+    registry.counter("repro_cluster_rerank_total", labels=labels).inc(reranks)
+    registry.counter("repro_cluster_fallback_total", labels=labels).inc(fallbacks)
+    registry.counter("repro_cluster_drift_total", labels=labels).inc(drifts)
+    registry.gauge("repro_cluster_members", labels=labels).set(members)
+    return {"ts": ts, "metrics": registry.snapshot()}
+
+
+class TestClusterRows:
+    def test_cluster_table_appears_with_cluster_labels(self):
+        frame = render_dashboard(
+            make_cluster_document(1000.0, reranks=75, fallbacks=25, drifts=2, members=8),
+            color=False,
+        )
+        assert "cluster" in frame
+        assert "SAP" in frame
+        assert "75.0" in frame  # lifetime hit rate %
+        assert "rerank/s" in frame and "fallbk/s" in frame
+
+    def test_cluster_rates_from_two_snapshots(self):
+        previous = make_cluster_document(1000.0, reranks=100, fallbacks=0)
+        current = make_cluster_document(1002.0, reranks=180, fallbacks=20)
+        frame = render_dashboard(current, previous, color=False)
+        assert "40" in frame  # (180-100)/2s rerank rate
+        assert "10" in frame  # (20-0)/2s fallback rate
+
+    def test_no_cluster_table_without_cluster_labels(self):
+        frame = render_dashboard(make_document(1000.0, events=10), color=False)
+        assert "cluster" not in frame
+
+    def test_unanswered_cluster_shows_dash_hit_rate(self):
+        frame = render_dashboard(make_cluster_document(1000.0, members=3), color=False)
+        assert " - " in frame or frame.rstrip().endswith("-") or " -\n" in frame
+
+
 class TestRunTop:
     def test_polls_and_renders_iterations(self, monkeypatch):
         documents = iter(

@@ -29,10 +29,13 @@ class TestParser:
 
     def test_every_registered_algorithm_has_a_factory(self):
         from repro.core.query import TopKQuery
+        from repro.registry import get_algorithm
 
         query = TopKQuery(n=50, k=3, s=5)
         for name, factory in CLI_ALGORITHMS.items():
-            algorithm = factory(query)
+            # Entries with required options ("clustered" needs vector=...)
+            # build through their registry example options.
+            algorithm = factory(query, **get_algorithm(name).example_options)
             assert algorithm.query is query, name
 
 

@@ -1,0 +1,130 @@
+"""Regression tests: unscorable records are dropped, never stream-fatal.
+
+The original bug: a zero-duration taxi trip arriving mid-stream made
+``trip_preference`` raise a bare ValueError out of the source generator,
+killing a continuous query that may have been running for days.  The
+contract now is drop-with-counter: sources skip records that raise
+:class:`PreferenceError`, count them (instance attribute plus the
+``repro_preference_dropped_total`` instrument), and keep the admitted
+arrival orders contiguous so count-based windows stay well-formed.
+"""
+
+import pytest
+
+from repro.obs.registry import get_registry
+from repro.streams import (
+    CSVStream,
+    ListSource,
+    PreferenceError,
+    TaxiTrip,
+    linear_preference,
+    trip_preference,
+)
+
+
+def _dropped_total(source_name):
+    return sum(
+        record["value"]
+        for record in get_registry().snapshot()
+        if record["name"] == "repro_preference_dropped_total"
+        and record.get("labels", {}).get("source") == source_name
+    )
+
+
+def trip(pickup, dropoff, distance=2.0):
+    return TaxiTrip(taxi_id=1, pickup_time=pickup, dropoff_time=dropoff, distance=distance)
+
+
+class TestTripPreference:
+    def test_zero_duration_raises_preference_error(self):
+        with pytest.raises(PreferenceError):
+            trip_preference(trip(10.0, 10.0))
+
+    def test_negative_duration_raises_preference_error(self):
+        with pytest.raises(PreferenceError):
+            trip_preference(trip(10.0, 9.0))
+
+    def test_preference_error_is_a_value_error(self):
+        # Callers that caught the original ValueError keep working.
+        with pytest.raises(ValueError):
+            trip_preference(trip(10.0, 10.0))
+
+    def test_valid_trip_scores_speed(self):
+        assert trip_preference(trip(0.0, 0.5, distance=10.0)) == pytest.approx(20.0)
+
+
+class TestListSourceDrops:
+    def test_bad_records_dropped_mid_stream(self):
+        trips = [trip(0.0, 1.0), trip(1.0, 1.0), trip(2.0, 3.0), trip(3.0, 3.0)]
+        source = ListSource(trips, preference=trip_preference, name="trips-test")
+        objects = source.take(len(trips))
+        assert len(objects) == 2
+        assert source.dropped == 2
+
+    def test_admitted_arrival_orders_stay_contiguous(self):
+        trips = [trip(0.0, 1.0), trip(1.0, 1.0), trip(2.0, 4.0), trip(4.0, 4.0), trip(5.0, 7.0)]
+        source = ListSource(trips, preference=trip_preference)
+        objects = source.take(len(trips))
+        assert [o.t for o in objects] == [0, 1, 2]
+
+    def test_drop_counter_instrument_increments(self):
+        name = "drop-counter-probe"
+        before = _dropped_total(name)
+        source = ListSource([trip(0.0, 0.0)], preference=trip_preference, name=name)
+        assert source.take(1) == []
+        assert _dropped_total(name) == before + 1
+
+    def test_non_preference_exceptions_still_propagate(self):
+        def broken(record):
+            raise RuntimeError("a bug, not a bad record")
+
+        source = ListSource([1.0], preference=broken)
+        with pytest.raises(RuntimeError):
+            source.take(1)
+
+
+class TestCSVStreamDrops:
+    @pytest.fixture()
+    def trips_csv(self, tmp_path):
+        path = tmp_path / "trips.csv"
+        path.write_text(
+            "pickup,dropoff,distance\n"
+            "0.0,1.0,5.0\n"
+            "1.0,1.0,3.0\n"  # zero duration: dropped
+            "2.0,4.0,6.0\n"
+        )
+        return str(path)
+
+    def test_bad_rows_dropped_with_counter(self, trips_csv):
+        def row_speed(row):
+            return trip_preference(
+                trip(float(row["pickup"]), float(row["dropoff"]), float(row["distance"]))
+            )
+
+        source = CSVStream(trips_csv, preference=row_speed)
+        objects = source.take()
+        assert [o.t for o in objects] == [0, 1]
+        assert [o.score for o in objects] == [pytest.approx(5.0), pytest.approx(3.0)]
+        assert source.dropped == 1
+
+
+class TestLinearPreference:
+    def test_scores_attribute_records(self):
+        score = linear_preference([1.0, 0.5])
+        assert score({"attributes": [2.0, 4.0]}) == pytest.approx(4.0)
+
+    def test_unattributed_record_raises_preference_error(self):
+        score = linear_preference([1.0, 0.5])
+        with pytest.raises(PreferenceError):
+            score({"attributes": [2.0]})  # wrong dimensionality
+        with pytest.raises(PreferenceError):
+            score(object())  # no attributes at all
+
+    def test_matches_cluster_plane_scorer(self):
+        from repro.core.clustering import linear_score
+
+        weights = (0.3, 0.0, 1.7)
+        attrs = (1.5, 9.9, 2.25)
+        assert linear_preference(weights)({"attributes": list(attrs)}) == linear_score(
+            weights, attrs
+        )
