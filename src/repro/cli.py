@@ -64,6 +64,52 @@ class CliCommand:
     run: Callable[[argparse.Namespace], int]
 
 
+#: Flags shared verbatim by several subcommands.  Each entry is the one
+#: definition (argparse names + kwargs); commands opt in with
+#: :func:`_add_flags`, so a shared flag cannot drift in spelling, default,
+#: or semantics between ``repro serve``, ``repro shard``, ``repro
+#: control``, and ``repro trace``.
+SHARED_FLAGS: Dict[str, Tuple[Tuple[str, ...], Dict[str, object]]] = {
+    "transport": (
+        ("--transport",),
+        dict(
+            default="queue",
+            choices=("queue", "shm"),
+            help="sharded data path to the workers: per-worker command "
+            "queues, or zero-copy shared-memory rings carrying columnar "
+            "chunks",
+        ),
+    ),
+    "durability-dir": (
+        ("--durability-dir",),
+        dict(
+            default=None,
+            metavar="DIR",
+            help="durability journal directory (checkpoints + slide-"
+            "granular write-ahead log); restarting with the same "
+            "directory recovers the exact pre-crash state",
+        ),
+    ),
+    "policy": (
+        ("--policy",),
+        dict(
+            default=None,
+            metavar="PATH",
+            help="JSON adaptation policy file (see "
+            "examples/control_policy.json); default: the command's "
+            "built-in policy",
+        ),
+    ),
+}
+
+
+def _add_flags(sub: argparse.ArgumentParser, *names: str) -> None:
+    """Attach shared flags by registry name (one definition, no drift)."""
+    for name in names:
+        flags, kwargs = SHARED_FLAGS[name]
+        sub.add_argument(*flags, **dict(kwargs))
+
+
 def _add_common(sub: argparse.ArgumentParser, include_k: bool = True) -> None:
     """The dataset/query flags shared by the subcommands.  ``include_k``
     is off for commands that take their own multi-valued ``--k``."""
@@ -82,6 +128,36 @@ def _add_common(sub: argparse.ArgumentParser, include_k: bool = True) -> None:
 
 def _query_from_args(args: argparse.Namespace) -> TopKQuery:
     return TopKQuery(n=args.n, k=args.k, s=args.s)
+
+
+def _resume_offset(engine) -> int:
+    """Where a recovered engine's arrival clock resumes (0 when fresh).
+
+    Durable engines enforce a strictly increasing ``t`` across restarts,
+    so a re-run of a CLI workload must shift its dataset past the
+    journaled tail instead of starting over at ``t=0``.
+    """
+    report = getattr(engine, "recovery_report", None)
+    if report is not None:
+        return int(report.next_t)
+    status = getattr(engine, "durability_status", None)
+    if callable(status):
+        # Every shard sees the whole dense-t stream; the furthest shard's
+        # ingest count is the next arrival index.
+        return max((int(e.get("ingested") or 0) for e in status()), default=0)
+    return 0
+
+
+def _shift_stream(stream, offset: int):
+    """Re-stamp a dataset's arrival order to continue a recovered clock."""
+    if not offset:
+        return stream
+    from .core.object import StreamObject
+
+    return [
+        StreamObject(obj.score, obj.t + offset, payload=obj.payload)
+        for obj in stream
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -239,13 +315,7 @@ def _configure_control(sub: argparse.ArgumentParser) -> None:
         choices=sorted(algorithm_factories()),
         help="algorithm the workload starts on (tactics may change it)",
     )
-    sub.add_argument(
-        "--policy",
-        default=None,
-        metavar="PATH",
-        help="JSON policy file (see examples/control_policy.json); "
-        "default: the built-in drift/blowup policy",
-    )
+    _add_flags(sub, "policy", "durability-dir")
     sub.add_argument(
         "--latency-budget",
         type=float,
@@ -278,8 +348,18 @@ def _command_control(args: argparse.Namespace) -> int:
     else:
         policy = Policy.default(latency_budget_seconds=args.latency_budget)
 
-    engine = StreamEngine(keep_results=False, return_results=False)
-    subscription = engine.subscribe("watch", query, algorithm=args.algorithm)
+    if args.durability_dir is not None:
+        engine = StreamEngine.recover(
+            args.durability_dir, keep_results=False, return_results=False
+        )
+    else:
+        engine = StreamEngine(keep_results=False, return_results=False)
+    if "watch" in engine.subscriptions():
+        # A recovered journal already carries the subscription.
+        subscription = engine.subscription("watch")
+    else:
+        subscription = engine.subscribe("watch", query, algorithm=args.algorithm)
+    stream = _shift_stream(stream, _resume_offset(engine))
     controller = AdaptiveController(policy)
     engine.attach_controller(controller)
     started = time.perf_counter()
@@ -361,13 +441,7 @@ def _configure_shard(sub: argparse.ArgumentParser) -> None:
         help="result sizes, cycled over the generated queries",
     )
     sub.add_argument("--shards", type=int, default=4, help="worker processes")
-    sub.add_argument(
-        "--transport",
-        default="queue",
-        choices=("queue", "shm"),
-        help="data path to the workers: per-worker command queues, or "
-        "zero-copy shared-memory rings carrying columnar chunks",
-    )
+    _add_flags(sub, "transport", "durability-dir", "policy")
     sub.add_argument(
         "--queries",
         type=int,
@@ -416,14 +490,34 @@ def _command_shard(args: argparse.Namespace) -> int:
     workload = _shard_workload(args)
 
     with ShardedStreamEngine(
-        args.shards, placement=args.placement, transport=args.transport
+        args.shards,
+        placement=args.placement,
+        transport=args.transport,
+        durability_dir=args.durability_dir,
     ) as engine:
         for name, query in workload:
-            engine.subscribe(
-                name, query, algorithm=args.algorithm, keep_results=False
-            )
+            if name not in engine.subscriptions():
+                engine.subscribe(
+                    name, query, algorithm=args.algorithm, keep_results=False
+                )
+        if args.durability_dir is not None:
+            stream = _shift_stream(stream, _resume_offset(engine))
+        autoscaler = None
+        if args.policy is not None:
+            # A cluster policy puts the worker pool itself under MAPE-K
+            # control: spawn-shard / retire-shard rules react to the
+            # pressure samples taken after every pushed block.
+            from .cluster import ShardAutoscaler
+
+            autoscaler = ShardAutoscaler(engine, policy=Policy.from_file(args.policy))
         started = time.perf_counter()
-        engine.push_many(stream)
+        if autoscaler is None:
+            engine.push_many(stream)
+        else:
+            block = max(1, len(stream) // 16)
+            for start in range(0, len(stream), block):
+                engine.push_many(stream[start : start + block])
+                autoscaler.tick()
         engine.synchronize()
         sharded_seconds = time.perf_counter() - started
 
@@ -443,6 +537,17 @@ def _command_shard(args: argparse.Namespace) -> int:
             f"p95={merged['p95_latency']:.6f}s p99={merged['p99_latency']:.6f}s "
             f"(merged from {int(merged['latency_samples'])} samples)"
         )
+        if autoscaler is not None:
+            applied = [e for e in autoscaler.events() if e["applied"]]
+            print(
+                f"autoscale : {len(autoscaler.events())} ticks, "
+                f"{len(applied)} pool changes, final width {engine.shards}"
+            )
+            for event in applied:
+                print(
+                    f"  tick {event['tick']:>3}: {event['symptom']} -> "
+                    f"{event['tactic']} {event['detail']}"
+                )
 
     if args.baseline:
         solo = StreamEngine(keep_results=False, return_results=False)
@@ -478,12 +583,13 @@ def _configure_serve(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--shards", type=int, default=2, help="worker processes (sharded engine only)"
     )
+    _add_flags(sub, "transport", "durability-dir", "policy")
     sub.add_argument(
-        "--transport",
-        default="queue",
-        choices=("queue", "shm"),
-        help="sharded-engine data path: command queues or shared-memory "
-        "rings (sharded engine only)",
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="SLIDES",
+        help="slides between durability checkpoints (with --durability-dir)",
     )
     sub.add_argument(
         "--max-subscriptions",
@@ -531,14 +637,35 @@ def _command_serve(args: argparse.Namespace) -> int:
         slow_client=args.slow_client,
         dedupe_window=args.dedupe_window,
         linger_ms=args.linger_ms,
+        durability_dir=args.durability_dir,
+        checkpoint_interval=args.checkpoint_interval,
     )
 
+    engine_factory = None
+    if args.policy is not None:
+        policy = Policy.from_file(args.policy)
+
+        def engine_factory(cfg: ServeConfig):
+            from .serve.app import _default_engine_factory
+
+            engine = _default_engine_factory(cfg)
+            if cfg.engine == "sharded":
+                engine.attach_controllers(policy)
+            else:
+                engine.attach_controller(AdaptiveController(policy))
+            return engine
+
     async def main() -> None:
-        server = TopKServer(config)
+        server = TopKServer(config, engine_factory)
         await server.start()
         print(f"serving   : http://{config.host}:{server.port} ({config.engine} engine)")
-        print("api       : POST /subscriptions | POST /events | "
-              "GET /subscriptions/<name>/stream (SSE) | .../ws (WebSocket)")
+        print("api       : POST /v1/subscriptions | POST /v1/events | "
+              "GET /v1/subscriptions/<name>/stream (SSE) | .../ws (WebSocket)")
+        if config.durability_dir is not None:
+            recovery = server.recovery_info or {}
+            print(f"durable   : {config.durability_dir} "
+                  f"(recovered {recovery.get('recovered_subscriptions', 0)} "
+                  f"subscriptions, resumed at t={recovery.get('resumed_at_t', 0)})")
         print("shutdown  : SIGINT/SIGTERM drain in-flight slides and close the engine")
         await server.serve_forever()
         totals = server.describe()
@@ -611,12 +738,7 @@ def _configure_trace(sub: argparse.ArgumentParser) -> None:
         help="result sizes, cycled over the generated queries",
     )
     sub.add_argument("--shards", type=int, default=2, help="worker processes")
-    sub.add_argument(
-        "--transport",
-        default="queue",
-        choices=("queue", "shm"),
-        help="data path to the workers (see ``repro shard``)",
-    )
+    _add_flags(sub, "transport")
     sub.add_argument(
         "--queries",
         type=int,
@@ -718,8 +840,11 @@ COMMANDS: List[CliCommand] = [
         doc="Run a mixed-window multi-query workload on the sharded "
         "execution plane (:mod:`repro.cluster`): N worker processes, a "
         "placement policy assigning queries to shards, and cluster-wide "
-        "statistics merged from per-shard samples.  ``--baseline`` also "
-        "runs the workload single-process and reports the speedup.",
+        "statistics merged from per-shard samples.  ``--durability-dir`` "
+        "makes every worker journal its state for crash-exact recovery; "
+        "``--policy`` puts the pool under the MAPE-K shard autoscaler.  "
+        "``--baseline`` also runs the workload single-process and reports "
+        "the speedup.",
         configure=_configure_shard,
         run=_command_shard,
     ),
@@ -730,9 +855,12 @@ COMMANDS: List[CliCommand] = [
         "facade exposing subscription management, idempotent event "
         "ingestion (at-least-once producers get exactly-once engine "
         "semantics via an event-id dedupe window), per-client result push "
-        "over SSE/WebSocket with bounded queues, and admission control.  "
-        "Runs until SIGINT/SIGTERM, then drains in-flight slides and "
-        "closes the engine.",
+        "over SSE/WebSocket with bounded queues, and admission control — "
+        "under the versioned ``/v1`` REST surface.  ``--durability-dir`` "
+        "makes the whole service crash-exact: a restart pointed at the "
+        "same directory recovers subscriptions, histories, and the "
+        "arrival clock.  Runs until SIGINT/SIGTERM, then drains in-flight "
+        "slides and closes the engine.",
         configure=_configure_serve,
         run=_command_serve,
     ),

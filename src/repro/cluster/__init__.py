@@ -13,6 +13,7 @@ See :mod:`repro.cluster.sharded` for the facade,
 plumbing, and :mod:`repro.cluster.merge` for result/statistics merging.
 """
 
+from .autoscale import ShardAutoscaler, default_scaling_policy
 from .merge import AggregatedKnowledge, merged_latency_stats
 from .placement import (
     PLACEMENT_POLICIES,
@@ -34,6 +35,8 @@ __all__ = [
     "make_placement",
     "AggregatedKnowledge",
     "merged_latency_stats",
+    "ShardAutoscaler",
+    "default_scaling_policy",
     "ShardError",
     "ShardRouter",
 ]

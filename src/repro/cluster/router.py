@@ -30,7 +30,10 @@ the configured budget.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import shutil
 import time
+from collections import deque
 from queue import Empty, Full
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -113,10 +116,17 @@ class _ShardHandle:
         "sent_chunks",
         "counters",
         "bp_waits",
+        "durability_dir",
+        "retained",
     )
 
     def __init__(
-        self, shard_id: int, ctx, queue_depth: int, ring: Optional[ShmRing]
+        self,
+        shard_id: int,
+        ctx,
+        queue_depth: int,
+        ring: Optional[ShmRing],
+        durability_dir: Optional[str] = None,
     ) -> None:
         self.shard_id = shard_id
         self.commands = ctx.Queue(maxsize=queue_depth)
@@ -129,12 +139,24 @@ class _ShardHandle:
         self.sent_chunks = 0
         self.counters = _TransportCounters()
         self.bp_waits = 0
+        self.durability_dir = durability_dir
+        # Resurrection buffer: the most recent ``(seq, payload)`` sends.
+        # A crashed worker has journaled every chunk except those still in
+        # flight, and in-flight is bounded by queue depth (queue transport)
+        # or ring slots (shm: every chunk occupies at least one slot) —
+        # so this deque provably covers the journal -> send-count gap.
+        if durability_dir is not None:
+            in_flight = ring.slots if ring is not None else queue_depth
+            self.retained: Optional[deque] = deque(maxlen=in_flight + queue_depth + 4)
+        else:
+            self.retained = None
         self.process = ctx.Process(
             target=shard_worker_main,
             args=(shard_id, self.commands, self.replies),
             kwargs={
                 "ring_name": ring.name if ring is not None else None,
                 "doorbell": self.doorbell,
+                "durability_dir": durability_dir,
             },
             name=f"repro-shard-{shard_id}",
             daemon=True,
@@ -161,6 +183,7 @@ class ShardRouter:
         backpressure_timeout: Optional[float] = DEFAULT_BACKPRESSURE_TIMEOUT,
         ring_slots: Optional[int] = None,
         ring_slot_size: Optional[int] = None,
+        durability_root: Optional[str] = None,
     ) -> None:
         if shard_count < 1:
             raise ValueError(f"shard_count must be positive, got {shard_count}")
@@ -179,20 +202,12 @@ class ShardRouter:
         self.reply_timeout = reply_timeout
         self.transport = transport
         self.backpressure_timeout = backpressure_timeout
-        rings: List[Optional[ShmRing]] = []
-        for _ in range(shard_count):
-            if transport == "shm":
-                kwargs = {}
-                if ring_slots is not None:
-                    kwargs["slots"] = ring_slots
-                if ring_slot_size is not None:
-                    kwargs["slot_size"] = ring_slot_size
-                rings.append(ShmRing.create(**kwargs))
-            else:
-                rings.append(None)
+        self.queue_depth = queue_depth
+        self.durability_root = durability_root
+        self._ring_slots = ring_slots
+        self._ring_slot_size = ring_slot_size
         self._shards: List[_ShardHandle] = [
-            _ShardHandle(shard_id, self._ctx, queue_depth, rings[shard_id])
-            for shard_id in range(shard_count)
+            self._build_handle(shard_id) for shard_id in range(shard_count)
         ]
         for shard in self._shards:
             shard.process.start()
@@ -212,6 +227,21 @@ class ShardRouter:
         self._tracer = get_tracer()
         self._registry = registry
         registry.add_collector(self._collect)
+
+    def _build_handle(self, shard_id: int) -> _ShardHandle:
+        """Construct (but do not start) one worker handle."""
+        ring = None
+        if self.transport == "shm":
+            kwargs = {}
+            if self._ring_slots is not None:
+                kwargs["slots"] = self._ring_slots
+            if self._ring_slot_size is not None:
+                kwargs["slot_size"] = self._ring_slot_size
+            ring = ShmRing.create(**kwargs)
+        durability_dir = None
+        if self.durability_root is not None:
+            durability_dir = os.path.join(self.durability_root, f"shard-{shard_id}")
+        return _ShardHandle(shard_id, self._ctx, self.queue_depth, ring, durability_dir)
 
     def _collect(self, registry) -> None:
         """Pull-time export of the data-path state this router maintains."""
@@ -332,6 +362,10 @@ class ShardRouter:
             counters.bytes += size
             counters.batches += 1
             counters.objects += count
+            if shard.retained is not None:
+                # Retain *before* sending: a worker that dies mid-send
+                # must still find this chunk in the resurrection buffer.
+                shard.retained.append((shard.sent_chunks, payload))
             started = time.perf_counter()
             if shard.ring is not None:
                 self._ring_send(shard, payload)
@@ -378,6 +412,21 @@ class ShardRouter:
     def transport_stats(self) -> Dict[int, Dict[str, float]]:
         """Router-side data-path counters, keyed by shard id."""
         return {shard.shard_id: shard.counters.as_dict() for shard in self._shards}
+
+    def pressure_stats(self) -> Dict[int, Dict[str, float]]:
+        """Per-shard saturation signals for the autoscaler: lifetime
+        backpressure-stall count and the ring's FULL-slot fraction (0.0
+        on the queue transport)."""
+        stats: Dict[int, Dict[str, float]] = {}
+        for shard in self._shards:
+            occupancy = 0.0
+            if shard.ring is not None:
+                occupancy = shard.ring.occupancy() / shard.ring.slots
+            stats[shard.shard_id] = {
+                "bp_waits": float(shard.bp_waits),
+                "ring_occupancy": occupancy,
+            }
+        return stats
 
     # ------------------------------------------------------------------
     # Control path (synchronous request/reply)
@@ -480,6 +529,128 @@ class ShardRouter:
             if status == "err":
                 raise ShardError(f"shard {shard.shard_id} {op!r} failed: {payload}")
             return payload
+
+    # ------------------------------------------------------------------
+    # Resurrection and elasticity
+    # ------------------------------------------------------------------
+    def resurrect(self, shard_id: int) -> Dict[str, object]:
+        """Restart a dead worker in place from its durability directory.
+
+        The replacement process recovers the shard's journal (checkpoint +
+        WAL tail) at boot; the router then re-sends the chunk tail the
+        dead worker had *received but not yet journaled* — bounded by the
+        transport's in-flight window and therefore always covered by the
+        retention buffer.  Fence continuity: the new handle inherits the
+        lifetime send count, and the worker resumes its receive count from
+        the journal, so fenced control messages keep lining up.  Returns
+        the worker's ``wal_status`` payload.
+        """
+        old = self._handle(shard_id)
+        if old.durability_dir is None:
+            raise ShardError(
+                f"shard {shard_id} has no durability directory; start the "
+                "router with durability_root to enable resurrection"
+            )
+        if old.process.is_alive():
+            raise ShardError(
+                f"shard {shard_id} is still alive; refusing to resurrect it"
+            )
+        # Reap the corpse.  Its queues and ring may hold undelivered
+        # chunks; every one of them is still in the retention buffer.
+        try:
+            old.process.join(timeout=1.0)
+        except Exception:
+            pass
+        for queue in (old.commands, old.replies):
+            try:
+                queue.close()
+                queue.cancel_join_thread()
+            except Exception:
+                pass
+        if old.ring is not None:
+            old.ring.unlink()
+        fresh = self._build_handle(shard_id)
+        fresh.sent_chunks = old.sent_chunks
+        fresh.counters = old.counters
+        fresh.bp_waits = old.bp_waits
+        fresh.retained = old.retained
+        self._shards[shard_id] = fresh
+        fresh.process.start()
+        # Unfenced status request — a fence would wait forever on chunks
+        # that were never sent to the fresh ring.
+        self._put(fresh, ("wal_status",))
+        fresh.ding()
+        status = self._await_reply(fresh, "wal_status")
+        self._resend_tail(fresh, int(status["chunks"] or 0))
+        return status
+
+    def _resend_tail(self, shard: _ShardHandle, logged: int) -> None:
+        """Re-send every sent chunk the worker's journal does not hold."""
+        if logged >= shard.sent_chunks:
+            return
+        tail = [(seq, payload) for seq, payload in shard.retained if seq >= logged]
+        if [seq for seq, _ in tail] != list(range(logged, shard.sent_chunks)):
+            raise ShardError(
+                f"shard {shard.shard_id} resurrection gap: the journal holds "
+                f"{logged} chunks and {shard.sent_chunks} were sent, but the "
+                f"retention buffer covers only {[seq for seq, _ in tail]}"
+            )
+        for _, payload in tail:
+            # Raw re-send: these are already counted in ``sent_chunks``
+            # and already sit in the retention buffer.
+            if shard.ring is not None:
+                self._ring_send(shard, payload)
+            else:
+                self._put(shard, ("push", payload))
+
+    def add_shard(self) -> int:
+        """Grow the pool by one worker; returns the new shard id."""
+        shard_id = len(self._shards)
+        if self.durability_root is not None:
+            # A previously retired shard of the same id must not leave a
+            # stale journal for the newcomer to "recover".
+            shutil.rmtree(
+                os.path.join(self.durability_root, f"shard-{shard_id}"),
+                ignore_errors=True,
+            )
+        fresh = self._build_handle(shard_id)
+        self._shards.append(fresh)
+        fresh.process.start()
+        return shard_id
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Retire the highest-numbered worker (ids stay dense).
+
+        The caller is responsible for having drained the shard's
+        subscriptions off it first (see the facade's ``retire_shard``).
+        """
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        if shard_id != len(self._shards) - 1:
+            raise ValueError(
+                f"only the highest-numbered shard can be removed; "
+                f"got {shard_id}, expected {len(self._shards) - 1}"
+            )
+        shard = self._shards.pop()
+        try:
+            shard.commands.put(("stop",), timeout=1.0)
+            shard.ding()
+        except Exception:
+            pass
+        shard.process.join(timeout=5.0)
+        if shard.process.is_alive():
+            shard.process.terminate()
+            shard.process.join(timeout=5.0)
+        for queue in (shard.commands, shard.replies):
+            try:
+                queue.close()
+                queue.cancel_join_thread()
+            except Exception:
+                pass
+        if shard.ring is not None:
+            shard.ring.unlink()
+        if shard.durability_dir is not None:
+            shutil.rmtree(shard.durability_dir, ignore_errors=True)
 
     # ------------------------------------------------------------------
     # Lifecycle

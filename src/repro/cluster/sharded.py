@@ -40,8 +40,11 @@ lambdas).
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import time
+import warnings
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..core.exceptions import AlgorithmStateError
@@ -132,6 +135,7 @@ class ShardedStreamEngine:
         reply_timeout: Optional[float] = None,
         transport: str = "queue",
         backpressure_timeout: Optional[float] = DEFAULT_BACKPRESSURE_TIMEOUT,
+        durability_dir: Optional[str] = None,
     ) -> None:
         """``shards`` worker processes are started immediately.
 
@@ -147,7 +151,25 @@ class ShardedStreamEngine:
         byte-identical either way.  ``backpressure_timeout`` bounds how
         long a push may stall on one congested shard before raising
         :class:`~repro.cluster.router.ShardBackpressureError`.
+
+        ``durability_dir`` makes the cluster crash-recoverable: each
+        worker journals into ``<dir>/shard-<id>`` (checkpoints + WAL, see
+        :mod:`repro.durability`), a ``cluster.json`` manifest records the
+        shard count (on restart the manifest *wins* over the ``shards``
+        argument, so a resized cluster comes back at its resized width),
+        and the facade rebuilds its name->shard map from the workers'
+        recovered subscriptions.  A worker that dies mid-stream can then
+        be revived in place with :meth:`resurrect_shard`.
         """
+        self._durability_dir = durability_dir
+        if durability_dir is not None:
+            os.makedirs(durability_dir, exist_ok=True)
+            manifest = os.path.join(durability_dir, "cluster.json")
+            if os.path.exists(manifest):
+                with open(manifest, "r", encoding="utf-8") as fh:
+                    recorded = json.load(fh).get("shards")
+                if recorded:
+                    shards = int(recorded)
         self._router = ShardRouter(
             shards,
             start_method=start_method,
@@ -155,6 +177,7 @@ class ShardedStreamEngine:
             reply_timeout=reply_timeout,
             transport=transport,
             backpressure_timeout=backpressure_timeout,
+            durability_root=durability_dir,
         )
         self._placement = make_placement(placement)
         self._chunk_size = chunk_size
@@ -164,6 +187,32 @@ class ShardedStreamEngine:
         self._clusters = None
         self._loads: List[float] = [0.0] * shards
         self._closed = False
+        if durability_dir is not None:
+            self._write_manifest()
+            self._recover_map()
+
+    def _write_manifest(self) -> None:
+        """Persist the live shard count (atomically) for the next boot."""
+        if self._durability_dir is None:
+            return
+        path = os.path.join(self._durability_dir, "cluster.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"shards": len(self._router)}, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def _recover_map(self) -> None:
+        """Rebuild handles, placement map, and load accounting from the
+        subscriptions the workers recovered out of their journals."""
+        for shard_id, manifest in zip(
+            self._router.shard_ids(), self._router.broadcast(("manifest",))
+        ):
+            for name, query in (manifest or {}).items():
+                self._handles[name] = ShardSubscription(self, name, query)
+                self._shard_of[name] = shard_id
+                self._loads[shard_id] += self._placement.load_of(query)
 
     # ------------------------------------------------------------------
     # Subscription management
@@ -187,19 +236,45 @@ class ShardedStreamEngine:
         policy.  All other parameters match
         :meth:`repro.engine.EngineCore.subscribe`, minus ``on_result``
         (callbacks cannot cross process boundaries).
+
+        A :class:`QuerySpec` that carries its own execution —
+        ``spec.using(...)`` / ``spec.preferring(...)`` — is the unified
+        path: the algorithm and options come from the spec (passing them
+        separately too is an error), the facade assigns the preference
+        cluster centrally, and placement is cluster-affine for preference
+        specs exactly as in :meth:`subscribe_preference`.
         """
         self._ensure_open()
+        if name in self._handles:
+            raise ValueError(f"query {name!r} is already subscribed")
+        spec_cluster = None
+        if isinstance(spec, QuerySpec) and spec.carries_execution():
+            if algorithm != "SAP" or algorithm_options:
+                raise ValueError(
+                    "the spec already declares its execution (using/"
+                    "preferring); drop the algorithm/options arguments"
+                )
+            algorithm, algorithm_options = spec.execution_plan()
+            if algorithm == "clustered":
+                if "cluster_id" not in algorithm_options:
+                    algorithm_options["cluster_id"] = int(
+                        self._cluster_space().assign(algorithm_options["vector"])
+                    )
+                spec_cluster = algorithm_options["cluster_id"]
         if not isinstance(algorithm, str):
             raise TypeError(
                 "the sharded engine takes an algorithm name from "
                 "repro.registry (the instance is constructed inside the "
                 f"worker process), got {type(algorithm).__name__}"
             )
-        if name in self._handles:
-            raise ValueError(f"query {name!r} is already subscribed")
         query = resolve_query(spec)
         if shard is None:
-            shard = self._placement.place(query, self._loads)
+            if spec_cluster is not None:
+                shard = self._placement.place_preference(
+                    query, spec_cluster, self._loads
+                )
+            else:
+                shard = self._placement.place(query, self._loads)
         elif not 0 <= shard < len(self._router):
             raise ValueError(
                 f"shard {shard} out of range (cluster has {len(self._router)})"
@@ -247,7 +322,18 @@ class ShardedStreamEngine:
         :meth:`~repro.cluster.placement.PlacementPolicy.place_preference`
         hashes the cluster id so one cluster's members (and therefore its
         shared padded-k plan) never straddle shards.
+
+        .. deprecated::
+            Use :meth:`subscribe` with ``spec.preferring(vector)`` — the
+            unified entry point accepting one :class:`QuerySpec` that
+            carries its own execution.
         """
+        warnings.warn(
+            "subscribe_preference() is deprecated; use "
+            "subscribe(name, spec.preferring(vector)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._ensure_open()
         if not isinstance(algorithm, str):
             raise TypeError(
@@ -541,6 +627,70 @@ class ShardedStreamEngine:
         self._loads[to_shard] += self._placement.load_of(handle.query)
         self._shard_of[name] = to_shard
         return handle
+
+    # ------------------------------------------------------------------
+    # Durability and elasticity
+    # ------------------------------------------------------------------
+    @property
+    def durability_dir(self) -> Optional[str]:
+        """The cluster's durability root, or ``None`` when not durable."""
+        return self._durability_dir
+
+    def durability_status(self) -> List[Dict[str, object]]:
+        """Per-shard journal status (chunks logged, objects ingested,
+        subscriptions recovered at the last boot); one cluster barrier."""
+        self._ensure_open()
+        return self._router.broadcast(("wal_status",))
+
+    def resurrect_shard(self, shard_id: int) -> Dict[str, object]:
+        """Revive a dead worker in place (durable clusters only).
+
+        The replacement process recovers the shard's checkpoint + WAL
+        tail, the router re-sends the received-but-unjournaled chunk
+        tail, and the shard continues producing the exact answer stream
+        the dead worker would have — see
+        :meth:`~repro.cluster.router.ShardRouter.resurrect`.
+        """
+        self._ensure_open()
+        return self._router.resurrect(shard_id)
+
+    def spawn_shard(self) -> int:
+        """Grow the cluster by one (initially empty) worker; returns the
+        new shard id.  Move load onto it with :meth:`rebalance`."""
+        self._ensure_open()
+        shard_id = self._router.add_shard()
+        self._loads.append(0.0)
+        self._write_manifest()
+        return shard_id
+
+    def retire_shard(self, shard_id: Optional[int] = None) -> int:
+        """Drain and stop the highest-numbered worker; returns its id.
+
+        Every subscription the shard hosts is first rebalanced onto the
+        least-loaded remaining shard (which needs the same slide-boundary
+        alignment as any :meth:`rebalance`), then the worker is stopped
+        and its journal removed.  Ids stay dense, so only the highest
+        shard can retire.
+        """
+        self._ensure_open()
+        last = len(self._router) - 1
+        if shard_id is None:
+            shard_id = last
+        if shard_id != last:
+            raise ValueError(
+                f"only the highest-numbered shard can retire; got {shard_id}, "
+                f"expected {last}"
+            )
+        if len(self._router) == 1:
+            raise ValueError("cannot retire the last shard")
+        members = [name for name, s in self._shard_of.items() if s == shard_id]
+        for name in members:
+            target = min(range(shard_id), key=self._loads.__getitem__)
+            self.rebalance(name, target)
+        self._router.remove_shard(shard_id)
+        self._loads.pop()
+        self._write_manifest()
+        return shard_id
 
     # ------------------------------------------------------------------
     # Reading answers and state

@@ -60,6 +60,8 @@ SYNC_OPS = frozenset(
         "attach_controller",
         "detach_controller",
         "controller_report",
+        "wal_status",
+        "manifest",
         "close",
     }
 )
@@ -80,13 +82,21 @@ def shard_worker_main(
     replies,
     ring_name: Optional[str] = None,
     doorbell=None,
+    durability_dir: Optional[str] = None,
 ) -> None:
     """Entry point of a worker process (module-level so every
     multiprocessing start method can import it).  ``ring_name`` attaches
     the shared-memory data ring of the shm transport; without it the data
     path arrives on ``commands`` like every control message.  ``doorbell``
     is the router's wakeup semaphore for the ring: released once per sent
-    message, acquired here as a hint (never a count) of pending work."""
+    message, acquired here as a hint (never a count) of pending work.
+
+    With a ``durability_dir`` the worker journals every received chunk
+    and subscription op into a :class:`repro.durability.DurabilityManager`
+    and recovers any prior state from the directory at boot — the
+    resurrection path of :meth:`~repro.cluster.router.ShardRouter`
+    restarts a SIGKILL'd worker this way, then re-sends the chunk tail
+    the dead process had received but not yet logged."""
     # This process's tracer carries the shard id on every span; installed
     # before the engine exists so subscriptions and groups cache the right
     # one.  The facade's "set_tracing" broadcast flips it on.
@@ -110,12 +120,27 @@ def shard_worker_main(
     pushed = 0
     failure: Optional[str] = None
 
+    durability = None
+    recovery = None
+    if durability_dir is not None:
+        from ..durability import DurabilityManager
+
+        # The worker logs each chunk's wire payload on receipt (before
+        # decoding), so the engine hook must not re-encode and re-log it.
+        durability = DurabilityManager(durability_dir, logs_engine_chunks=False)
+        recovery = durability.recover(engine)
+        engine.attach_durability(durability)
+        pushed = recovery.ingested_total
+
     ring = None
     if ring_name is not None:
         from .shm import ShmRing
 
         ring = ShmRing.attach(ring_name)
-    consumed_chunks = 0
+    # Lifetime chunk-receive count.  Resumes from the journal so the
+    # router's fences (which carry its lifetime *send* count) stay
+    # comparable across a resurrection.
+    consumed_chunks = durability.chunks_logged if durability is not None else 0
     decode_stats = {
         "decode_seconds": 0.0,
         "decode_bytes": 0,
@@ -162,6 +187,13 @@ def shard_worker_main(
         if failure is not None:
             return  # the shard is broken; drop data, keep the error
         try:
+            if durability is not None:
+                # Journal the wire payload ahead of application; the
+                # replayed journal is then the exact received sequence.
+                if isinstance(payload, (bytes, bytearray, memoryview)):
+                    durability.log_encoded(bytes(payload))
+                else:
+                    durability.log_objects(payload)
             if isinstance(payload, (bytes, bytearray, memoryview)):
                 # Pre-increment sequence number: matches the router's
                 # ``sent_chunks`` stamp on its encode/send spans, so the
@@ -376,6 +408,27 @@ def shard_worker_main(
             elif op == "detach_controller":
                 engine.detach_controller()
                 controller = None
+            elif op == "wal_status":
+                # Resurrection handshake: how many chunks the journal
+                # holds, so the router knows which retained chunks to
+                # re-send.  Sent unfenced (there is nothing to fence
+                # against in a fresh ring).
+                payload = {
+                    "shard": shard_id,
+                    "chunks": durability.chunks_logged if durability is not None else None,
+                    "ingested": pushed,
+                    "recovered_subscriptions": (
+                        None if recovery is None else recovery.restored_subscriptions
+                    ),
+                }
+            elif op == "manifest":
+                # Which subscriptions this shard hosts — the facade
+                # rebuilds its name->shard map (and load accounting)
+                # from these after a restart.
+                payload = {
+                    name: engine.subscription(name).query
+                    for name in engine.subscriptions()
+                }
             elif op == "controller_report":
                 if controller is None:
                     payload = None

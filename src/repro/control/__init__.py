@@ -20,6 +20,8 @@ from .analyzers import (
     CandidateBlowupAnalyzer,
     LatencyBudgetAnalyzer,
     ScoreDriftAnalyzer,
+    ShardPressure,
+    ShardPressureSample,
     Symptom,
 )
 from .controller import AdaptiveController
@@ -44,6 +46,8 @@ __all__ = [
     "Policy",
     "Rule",
     "ScoreDriftAnalyzer",
+    "ShardPressure",
+    "ShardPressureSample",
     "SealSample",
     "SlideSample",
     "Symptom",

@@ -101,6 +101,33 @@ class SubscriptionState:
         return replace(self, name=name)
 
 
+@dataclass(frozen=True)
+class EngineCheckpoint:
+    """A whole engine at one slide boundary: every subscription's state
+    plus the write-ahead-log position the snapshot corresponds to.
+
+    This is the unit the durability plane (:mod:`repro.durability`)
+    persists: restoring the states and replaying the WAL records past
+    ``wal_records`` reproduces the pre-crash engine byte-identically.
+    ``ingested`` is the engine's lifetime object count at capture time
+    (the barrier accounting a resurrected shard worker resumes from) and
+    ``last_t`` the highest arrival order seen (-1 before the first push),
+    from which the serving layer continues its arrival clock.
+    """
+
+    version: int
+    wal_records: int
+    ingested: int
+    last_t: int
+    states: Tuple[SubscriptionState, ...]
+    #: Lifetime count of ingested *chunks* at capture time.  WAL
+    #: truncation deletes the records this would otherwise be counted
+    #: from, and a shard router resurrecting a worker compares exactly
+    #: this number (plus the replayed tail) against its send counter to
+    #: decide which retained chunks to re-send.
+    chunks: int = 0
+
+
 # ----------------------------------------------------------------------
 # Algorithm-level capture / restore
 # ----------------------------------------------------------------------

@@ -1,0 +1,342 @@
+"""The durability loop: WAL every mutation, checkpoint every N chunks.
+
+:class:`DurabilityManager` sits between a live engine and the two
+stores of this package.  Attached via
+:meth:`repro.engine.EngineCore.attach_durability`, it
+
+* appends every subscription lifecycle op and every ingested chunk to
+  the :class:`~repro.durability.wal.WriteAheadLog` *before* the engine
+  applies it (chunks in the columnar wire format, so the log is also a
+  replayable copy of the exact post-dedupe object sequence);
+* every ``checkpoint_interval`` chunks, at the first slide boundary,
+  captures every subscription's state into one atomic
+  :class:`~repro.core.state.EngineCheckpoint` and truncates the WAL
+  prefix the checkpoint covers.
+
+:meth:`recover` is the inverse: restore the latest checkpoint's states
+into a fresh engine, then replay the WAL tail.  Determinism of the
+engine (answers are a pure function of subscriptions + object sequence)
+makes the recovered answer stream byte-identical to the crashed one's
+continuation — the property the crash-injection suite in
+``tests/durability/`` checks against an uncrashed twin.
+
+Shard workers run the same manager with ``logs_engine_chunks=False``:
+they log the already-encoded transport payload on receipt
+(:meth:`log_encoded`) instead of re-encoding inside the engine hook.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from ..core import state as state_module
+from ..core.columnar import decode_chunk, encode_chunk
+from ..core.exceptions import AlgorithmStateError, InvalidQueryError, ReproError
+from ..core.object import StreamObject
+from ..core.state import STATE_FORMAT_VERSION, EngineCheckpoint, StateSerializationError
+from ..obs.registry import get_registry
+from .checkpoint import DEFAULT_KEEP, CheckpointStore
+from .wal import DEFAULT_SEGMENT_BYTES, KIND_CHUNK, KIND_OP, WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.core import EngineCore
+
+#: Attempt a checkpoint once this many chunks accumulated since the last
+#: one (the attempt then lands on the first slide boundary that follows).
+DEFAULT_CHECKPOINT_INTERVAL = 64
+
+
+class DurabilityError(ReproError):
+    """The durability directory cannot be used (corrupt, incompatible,
+    or recovery was attempted into a non-empty engine)."""
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one :meth:`DurabilityManager.recover` call reconstructed."""
+
+    checkpoint_seq: Optional[int]
+    restored_subscriptions: int
+    replayed_ops: int
+    replayed_chunks: int
+    replayed_objects: int
+    ingested_total: int
+    chunks_total: int
+    last_t: int
+    seconds: float
+    #: WAL chunks the engine deterministically rejected during replay
+    #: (they were journaled ahead of an application that then failed, so
+    #: the pre-crash state never contained them either).
+    skipped_chunks: int = 0
+
+    @property
+    def next_t(self) -> int:
+        """The arrival order the serving layer's clock continues from."""
+        return self.last_t + 1
+
+
+class DurabilityManager:
+    """Checkpoints + WAL for one engine over one directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        keep_checkpoints: int = DEFAULT_KEEP,
+        logs_engine_chunks: bool = True,
+    ) -> None:
+        if checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got {checkpoint_interval}"
+            )
+        self.directory = directory
+        self.checkpoint_interval = checkpoint_interval
+        #: True for local engines (the engine hook encodes + logs each
+        #: chunk); False on shard workers, which log the transport
+        #: payload themselves via :meth:`log_encoded` before decoding.
+        self.logs_engine_chunks = logs_engine_chunks
+        self.wal = WriteAheadLog(directory, segment_bytes=segment_bytes)
+        self.store = CheckpointStore(directory, keep=keep_checkpoints)
+        #: Lifetime counters, restored by :meth:`recover`.
+        self.ingested = 0
+        self.chunks_logged = 0
+        self.last_t = -1
+        self.last_recovery: Optional[RecoveryReport] = None
+        self._chunks_since_checkpoint = 0
+        self._want_checkpoint = False
+        registry = get_registry()
+        self._obs_checkpoints = registry.counter(
+            "repro_checkpoints_total", "Engine checkpoints committed."
+        )
+        self._obs_records = registry.counter(
+            "repro_wal_records_total", "Records appended to the write-ahead log."
+        )
+        self._obs_bytes = registry.counter(
+            "repro_wal_bytes_total", "Payload bytes appended to the write-ahead log."
+        )
+        self._obs_checkpoint_seconds = registry.histogram(
+            "repro_checkpoint_seconds", "Wall time of one checkpoint commit."
+        )
+        self._obs_replayed = registry.counter(
+            "repro_replayed_chunks_total", "WAL chunks replayed during recovery."
+        )
+
+    # ------------------------------------------------------------------
+    # Logging (called by the engine hooks / worker receive path)
+    # ------------------------------------------------------------------
+    def _check_order(self, ts) -> None:
+        """Refuse to journal a chunk the engine is bound to reject.
+
+        The engine enforces non-decreasing ``t``; journaling happens
+        before application (write-ahead), so an out-of-order chunk must
+        be rejected *here* — otherwise it would poison the log and fail
+        again on every replay.  Raises the same error the engine would.
+        """
+        prev = self.last_t
+        for value in ts:
+            if value < prev:
+                raise InvalidQueryError(
+                    "stream objects must arrive in non-decreasing order of "
+                    f"t; got t={value} after t={prev}"
+                )
+            prev = value
+
+    def log_objects(self, chunk: Sequence[StreamObject]) -> None:
+        """WAL one chunk of objects about to enter the engine."""
+        self._check_order(obj.t for obj in chunk)
+        payload = encode_chunk(chunk)
+        self.wal.append(KIND_CHUNK, payload)
+        self._obs_records.inc()
+        self._obs_bytes.inc(len(payload))
+        for obj in chunk:
+            if obj.t > self.last_t:
+                self.last_t = obj.t
+
+    def log_encoded(self, payload: bytes) -> None:
+        """WAL one already-encoded chunk payload (worker receive path)."""
+        self.wal.append(KIND_CHUNK, payload)
+        self._obs_records.inc()
+        self._obs_bytes.inc(len(payload))
+
+    def log_block(self, block) -> None:
+        """WAL one :class:`~repro.core.columnar.SlideBlock` chunk."""
+        self._check_order(int(value) for value in block.ts)
+        self.log_encoded(block.to_bytes())
+        for value in block.ts:
+            if int(value) > self.last_t:
+                self.last_t = int(value)
+
+    def log_op(self, op: Tuple) -> bool:
+        """WAL one subscription lifecycle op; False when unpicklable.
+
+        An op that cannot be serialized (e.g. a closure-scored algorithm
+        instance) degrades that subscription to checkpoint-only
+        durability: it survives any crash after the next checkpoint, but
+        not one before it.
+        """
+        try:
+            payload = state_module.dumps(op)
+        except StateSerializationError:
+            return False
+        self.wal.append(KIND_OP, payload)
+        self._obs_records.inc()
+        self._obs_bytes.inc(len(payload))
+        return True
+
+    def after_chunk(self, engine: "EngineCore", count: int) -> None:
+        """A chunk of ``count`` objects finished moving through ``engine``;
+        checkpoint when due and the engine sits at a slide boundary."""
+        self.ingested += count
+        self.chunks_logged += 1
+        self._chunks_since_checkpoint += 1
+        if self._chunks_since_checkpoint >= self.checkpoint_interval:
+            self._want_checkpoint = True
+        if self._want_checkpoint and engine.at_checkpoint_boundary():
+            self.checkpoint(engine)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, engine: "EngineCore") -> bool:
+        """Capture every subscription and commit one checkpoint.
+
+        Returns False (without partial effects) when the engine is not
+        at a capturable point — a window holds a partial slide, or a
+        time-based subscription exists; the caller just retries later.
+        """
+        started = time.perf_counter()
+        states = []
+        try:
+            for name in engine.subscriptions():
+                states.append(engine.capture_subscription(name))
+        except AlgorithmStateError:
+            return False
+        checkpoint = EngineCheckpoint(
+            version=STATE_FORMAT_VERSION,
+            wal_records=self.wal.next_seq,
+            ingested=self.ingested,
+            last_t=self.last_t,
+            states=tuple(states),
+            chunks=self.chunks_logged,
+        )
+        self.wal.sync()
+        self.store.write(checkpoint)
+        self.wal.truncate(checkpoint.wal_records)
+        self._chunks_since_checkpoint = 0
+        self._want_checkpoint = False
+        self._obs_checkpoints.inc()
+        self._obs_checkpoint_seconds.observe(time.perf_counter() - started)
+        return True
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self, engine: "EngineCore") -> RecoveryReport:
+        """Restore the latest checkpoint into ``engine``, replay the tail.
+
+        ``engine`` must be fresh (no subscriptions, nothing pushed) and
+        must not have this manager attached yet — the replayed records
+        are already in the log, so replay must not re-log them.
+        """
+        if len(engine):
+            raise DurabilityError(
+                "recovery needs a fresh engine; this one already has "
+                f"{len(engine)} subscription(s)"
+            )
+        started = time.perf_counter()
+        latest = self.store.latest()
+        checkpoint_seq: Optional[int] = None
+        after_seq = 0
+        restored = 0
+        if latest is not None:
+            checkpoint_seq, checkpoint = latest
+            after_seq = checkpoint.wal_records
+            self.ingested = checkpoint.ingested
+            self.chunks_logged = checkpoint.chunks
+            self.last_t = checkpoint.last_t
+            for state in checkpoint.states:
+                engine.restore_subscription(state)
+                restored += 1
+        replayed_ops = replayed_chunks = replayed_objects = skipped = 0
+        for kind, payload in self.wal.replay(after_seq):
+            if kind == KIND_OP:
+                self._apply_op(engine, state_module.loads(payload))
+                replayed_ops += 1
+            else:
+                try:
+                    replayed_objects += self._apply_chunk(engine, payload)
+                except InvalidQueryError:
+                    # Deterministic rejection: the live engine refused
+                    # this very chunk after it was journaled (write-ahead
+                    # order), so the pre-crash state never held it and
+                    # skipping it reproduces that state exactly.
+                    skipped += 1
+                replayed_chunks += 1
+                self.chunks_logged += 1
+                self._obs_replayed.inc()
+        self.ingested += replayed_objects
+        report = RecoveryReport(
+            checkpoint_seq=checkpoint_seq,
+            restored_subscriptions=restored,
+            replayed_ops=replayed_ops,
+            replayed_chunks=replayed_chunks,
+            replayed_objects=replayed_objects,
+            ingested_total=self.ingested,
+            chunks_total=self.chunks_logged,
+            last_t=self.last_t,
+            seconds=time.perf_counter() - started,
+            skipped_chunks=skipped,
+        )
+        self.last_recovery = report
+        return report
+
+    def _apply_chunk(self, engine: "EngineCore", payload: bytes) -> int:
+        objects, block = decode_chunk(payload, materialize=False)
+        if block is not None:
+            count = len(block)
+            engine.push_block(block)
+            top = -1
+            for value in block.ts:
+                if int(value) > top:
+                    top = int(value)
+        else:
+            count = len(objects)
+            if count:
+                engine.push_many(objects, chunk_size=count)
+            top = max((obj.t for obj in objects), default=-1)
+        if top > self.last_t:
+            self.last_t = top
+        return count
+
+    def _apply_op(self, engine: "EngineCore", op: Tuple) -> None:
+        kind = op[0]
+        if kind == "subscribe":
+            _, name, query, algorithm, options, keep, buffer, collect = op
+            engine.subscribe(
+                name,
+                query,
+                algorithm,
+                keep_results=keep,
+                result_buffer=buffer,
+                collect_metrics=collect,
+                **options,
+            )
+        elif kind == "restore":
+            engine.restore_subscription(op[1])
+        elif kind == "unsubscribe":
+            try:
+                engine.unsubscribe(op[1])
+            except KeyError:
+                pass
+        elif kind == "update_preference":
+            engine.update_preference(op[1], op[2])
+        else:
+            raise DurabilityError(f"unknown WAL op kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.wal.close()

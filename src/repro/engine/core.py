@@ -64,6 +64,7 @@ class EngineCore:
         self._return_results = return_results
         self._cluster_space = None
         self._closed = False
+        self._durability = None
         self._obs_ingested = get_registry().counter(
             "repro_events_ingested_total",
             "Stream objects admitted into this engine's windows.",
@@ -113,10 +114,30 @@ class EngineCore:
         group that has already consumed stream objects is full: the new
         subscription then opens a fresh group (its window starts empty),
         and only queries subscribed before the first push share state.
+
+        A :class:`QuerySpec` that carries execution choices (``using``,
+        ``preferring``) is the whole declaration: the ``algorithm``
+        parameter must then stay at its default and the spec's plan wins
+        (preference vectors route through the clustered sharing plane
+        exactly as :meth:`subscribe_preference` used to).
         """
         self._ensure_open()
         if name in self._subscriptions:
             raise ValueError(f"query {name!r} is already subscribed")
+        if isinstance(spec, QuerySpec) and spec.carries_execution():
+            if algorithm != "SAP" or algorithm_options:
+                raise ValueError(
+                    "the spec already declares its execution (using/"
+                    "preferring); drop the algorithm/options arguments"
+                )
+            algorithm, algorithm_options = spec.execution_plan()
+            if (
+                algorithm == "clustered"
+                and "cluster_id" not in algorithm_options
+            ):
+                algorithm_options["cluster_id"] = int(
+                    self.cluster_space().assign(algorithm_options["vector"])
+                )
 
         instance = self._resolve_algorithm(spec, algorithm, algorithm_options)
         subscription = Subscription(
@@ -130,7 +151,37 @@ class EngineCore:
             subscription.on_result(on_result)
         self._group_for(instance.query).add(subscription)
         self._subscriptions[name] = subscription
+        if self._durability is not None:
+            self._log_subscribe_op(name, instance, algorithm, algorithm_options,
+                                   subscription)
         return subscription
+
+    def _log_subscribe_op(
+        self, name, instance, algorithm, options, subscription
+    ) -> None:
+        """WAL the subscription so recovery can replay its creation.
+
+        Registry-named algorithms log a compact ``subscribe`` op; ready
+        instances/factories fall back to a ``restore`` op of the fresh
+        state (checkpoint-only durability when even that is unpicklable,
+        e.g. closure-scored queries)."""
+        if isinstance(algorithm, str):
+            self._durability.log_op((
+                "subscribe",
+                name,
+                instance.query,
+                algorithm,
+                dict(options),
+                subscription._keep_results,
+                subscription._results.maxlen,
+                subscription._collect_metrics,
+            ))
+        else:
+            try:
+                state = self.capture_subscription(name)
+            except AlgorithmStateError:  # pragma: no cover - defensive
+                return
+            self._durability.log_op(("restore", state))
 
     def subscribe_preference(
         self,
@@ -161,7 +212,19 @@ class EngineCore:
         sharded facade assigns ids centrally and passes them down);
         ``pad_factor`` tunes the shared candidate padding.  All other
         parameters match :meth:`subscribe`.
+
+        .. deprecated::
+            Declare the preference on the spec instead:
+            ``subscribe(name, QuerySpec(...).using(algorithm).preferring(vector))``.
         """
+        import warnings
+
+        warnings.warn(
+            "subscribe_preference is deprecated; use "
+            "subscribe(name, spec.using(algorithm).preferring(vector))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from ..core.clustering import validate_vector
 
         vector = validate_vector(vector)
@@ -198,7 +261,11 @@ class EngineCore:
             raise AlgorithmStateError(
                 f"subscription {name!r} was not created by subscribe_preference"
             )
-        return update(vector)
+        vector = tuple(vector)
+        record = update(vector)
+        if self._durability is not None:
+            self._durability.log_op(("update_preference", name, vector))
+        return record
 
     def cluster_space(self):
         """The engine's preference-cluster assignment state (lazy)."""
@@ -219,6 +286,8 @@ class EngineCore:
             group.remove(subscription)
             if not len(group):
                 self._unregister_group(group)
+        if self._durability is not None:
+            self._durability.log_op(("unsubscribe", name))
 
     def subscription(self, name: str) -> Subscription:
         try:
@@ -318,6 +387,8 @@ class EngineCore:
             group.prime(state.window, state.slide_index)
             self._register_group(group)
         self._subscriptions[state.name] = subscription
+        if self._durability is not None:
+            self._durability.log_op(("restore", state))
         return subscription
 
     # ------------------------------------------------------------------
@@ -336,6 +407,8 @@ class EngineCore:
             raise ValueError("no queries subscribed")
         if not self._admit_one(obj):
             return {}
+        if self._durability is not None and self._durability.logs_engine_chunks:
+            self._durability.log_objects((obj,))
         collect = self._return_results
         produced = None
         self._obs_ingested.inc()
@@ -346,6 +419,8 @@ class EngineCore:
                     produced = {}
                 produced[subscription.name] = results
         self._after_ingest()
+        if self._durability is not None:
+            self._durability.after_chunk(self, 1)
         return self._ordered(produced)
 
     def push_many(
@@ -385,10 +460,14 @@ class EngineCore:
     def _push_chunk(self, chunk: List[StreamObject]) -> int:
         if not self._subscriptions:
             raise ValueError("no queries subscribed")
+        if self._durability is not None and self._durability.logs_engine_chunks:
+            self._durability.log_objects(chunk)
         self._obs_ingested.inc(len(chunk))
         for group in tuple(self._groups):
             group.push_batch(chunk, collect=False)
         self._note_chunk(len(chunk))
+        if self._durability is not None:
+            self._durability.after_chunk(self, len(chunk))
         return len(chunk)
 
     def push_block(self, block) -> int:
@@ -405,10 +484,14 @@ class EngineCore:
             return self.push_many(block.to_objects(), chunk_size=len(block))
         if not self._subscriptions:
             raise ValueError("no queries subscribed")
+        if self._durability is not None and self._durability.logs_engine_chunks:
+            self._durability.log_block(block)
         self._obs_ingested.inc(len(block))
         for group in tuple(self._groups):
             group.push_block(block, collect=False)
         self._note_chunk(len(block))
+        if self._durability is not None:
+            self._durability.after_chunk(self, len(block))
         return len(block)
 
     def flush(self) -> Dict[str, List[TopKResult]]:
@@ -486,6 +569,40 @@ class EngineCore:
             for name, sub in self._subscriptions.items()
         }
         return merged_latency_stats([telemetry])
+
+    # ------------------------------------------------------------------
+    # Durability (checkpoints + write-ahead log, :mod:`repro.durability`)
+    # ------------------------------------------------------------------
+    def attach_durability(self, manager) -> None:
+        """Persist this engine through ``manager``: every subscription op
+        and ingested chunk is WAL'd ahead of application, and checkpoints
+        commit at slide boundaries.  Attach exactly one manager, *after*
+        any :meth:`repro.durability.DurabilityManager.recover` call (the
+        replayed records are already in the log)."""
+        if self._durability is not None:
+            raise ValueError("a durability manager is already attached")
+        self._durability = manager
+
+    def detach_durability(self):
+        """Stop persisting; returns the detached manager (or ``None``)."""
+        manager, self._durability = self._durability, None
+        return manager
+
+    @property
+    def durability(self):
+        """The attached :class:`~repro.durability.DurabilityManager`."""
+        return self._durability
+
+    def at_checkpoint_boundary(self) -> bool:
+        """Whether every window sits at an exact slide boundary (the only
+        points where :meth:`capture_subscription` — and therefore a
+        checkpoint — is possible).  Time-based windows never are."""
+        for group in self._groups:
+            if group.time_based:
+                return False
+            if group.started and not group.at_slide_boundary():
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Lifecycle

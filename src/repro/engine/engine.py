@@ -61,6 +61,53 @@ class StreamEngine(EngineCore):
     def __init__(self, *, keep_results: bool = True, return_results: bool = True) -> None:
         super().__init__(keep_results=keep_results, return_results=return_results)
         self._controller = None
+        #: Set by :meth:`recover` — what the durability plane replayed.
+        self.recovery_report = None
+
+    # ------------------------------------------------------------------
+    # Durable construction (crash-exact recovery)
+    # ------------------------------------------------------------------
+    @classmethod
+    def durable(cls, directory: str, *, checkpoint_interval: Optional[int] = None,
+                **engine_kwargs) -> "StreamEngine":
+        """A fresh engine persisting into ``directory``.
+
+        Equivalent to :meth:`recover` on an empty directory; on a
+        directory with prior state it *also* recovers first, so callers
+        can use one constructor for both cold and crashed starts.
+        """
+        return cls.recover(directory, checkpoint_interval=checkpoint_interval,
+                           **engine_kwargs)
+
+    @classmethod
+    def recover(cls, directory: str, *, checkpoint_interval: Optional[int] = None,
+                **engine_kwargs) -> "StreamEngine":
+        """Rebuild the engine persisted in ``directory`` and keep persisting.
+
+        Restores the latest checkpoint, replays the write-ahead-log tail
+        (producing the exact pre-crash subscriptions, windows, and
+        retained answers), then attaches the durability manager so the
+        recovered engine continues journaling.  The replay summary is
+        left on ``engine.recovery_report``.  An empty directory recovers
+        to an empty engine — i.e. this is also how a durable engine is
+        *first* created.
+        """
+        from ..durability import DurabilityManager
+
+        kwargs = {}
+        if checkpoint_interval is not None:
+            kwargs["checkpoint_interval"] = checkpoint_interval
+        engine = cls(**engine_kwargs)
+        manager = DurabilityManager(directory, **kwargs)
+        engine.recovery_report = manager.recover(engine)
+        engine.attach_durability(manager)
+        return engine
+
+    def close(self):
+        produced = super().close()
+        if self._durability is not None:
+            self._durability.close()
+        return produced
 
     # ------------------------------------------------------------------
     # Adaptive control plane

@@ -1,33 +1,47 @@
-"""Fluent builder for continuous top-k query specifications.
+"""The unified, typed query specification: one object, every entry point.
 
 :class:`~repro.core.query.TopKQuery` is an immutable tuple ``⟨n, k, s, F⟩``
 whose constructor validates everything at once.  :class:`QuerySpec` is the
-builder the push-based API uses: callers describe the query incrementally
-and :meth:`QuerySpec.build` produces the validated ``TopKQuery``::
+declaration callers hand to the engines: the window shape *plus* the
+execution choices that used to be scattered over three different
+subscription signatures — the algorithm and its options, and an optional
+linear preference vector::
 
     spec = (
         QuerySpec()
         .window(5000)          # n: last 5000 objects ...
         .top(10)               # k: ... report the best 10 ...
         .slide(100)            # s: ... every 100 arrivals
-        .scored_by(fire_risk)  # F: preference function
+        .using("MinTopK")      # algorithm (+ options)
+        .preferring((2.0, 1.0))  # optional: rank by w · attributes
     )
-    query = spec.build()
+    engine.subscribe("alerts", spec)
 
-``QuerySpec(n=5000, k=10, s=100)`` works too — every fluent method has a
-matching constructor argument.
+``QuerySpec(n=5000, k=10, s=100, algorithm="MinTopK")`` works too — every
+fluent method has a matching constructor argument.  The same object (via
+:meth:`from_dict`) is the single validator behind the REST body of
+``POST /v1/subscriptions``, so `StreamEngine.subscribe`,
+`ShardedStreamEngine.subscribe`, and the wire all enforce identical
+rules: shape problems raise
+:class:`~repro.core.exceptions.InvalidQueryError`, preference problems
+raise :class:`~repro.streams.preference.PreferenceError`.
+
+The legacy positional forms (``subscribe(name, spec, "SAP", **options)``
+and ``subscribe_preference(...)``) still work; ``subscribe_preference``
+is a thin shim over a preference-carrying spec and emits
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..core.exceptions import InvalidQueryError
 from ..core.query import PreferenceFunction, TopKQuery, identity_preference
 
 
 class QuerySpec:
-    """Mutable builder producing validated :class:`TopKQuery` instances."""
+    """Typed, validating declaration of one continuous top-k query."""
 
     def __init__(
         self,
@@ -36,12 +50,22 @@ class QuerySpec:
         s: int = 1,
         preference: Optional[PreferenceFunction] = None,
         time_based: bool = False,
+        algorithm: Optional[str] = None,
+        options: Optional[Dict[str, object]] = None,
+        vector: Optional[Tuple[float, ...]] = None,
+        cluster_id: Optional[int] = None,
+        pad_factor: Optional[float] = None,
     ) -> None:
         self._n = n
         self._k = k
         self._s = s
         self._preference = preference
         self._time_based = time_based
+        self._algorithm = algorithm
+        self._options: Dict[str, object] = dict(options or {})
+        self._vector = None if vector is None else tuple(vector)
+        self._cluster_id = cluster_id
+        self._pad_factor = pad_factor
 
     # ------------------------------------------------------------------
     # Fluent setters (each returns self so calls chain).
@@ -76,9 +100,131 @@ class QuerySpec:
         self._time_based = False
         return self
 
+    def using(self, algorithm: str, **options: object) -> "QuerySpec":
+        """Algorithm (a :mod:`repro.registry` name) and its options."""
+        self._algorithm = algorithm
+        self._options.update(options)
+        return self
+
+    def preferring(
+        self,
+        vector,
+        *,
+        cluster_id: Optional[int] = None,
+        pad_factor: Optional[float] = None,
+    ) -> "QuerySpec":
+        """Rank by the linear preference ``vector · attributes(payload)``.
+
+        The subscription then shares a padded-k cluster plan with
+        co-windowed similar vectors (:mod:`repro.core.clustering`);
+        ``algorithm`` names the *inner* core the cluster runs.
+        """
+        self._vector = tuple(vector)
+        if cluster_id is not None:
+            self._cluster_id = int(cluster_id)
+        if pad_factor is not None:
+            self._pad_factor = float(pad_factor)
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def algorithm(self) -> Optional[str]:
+        return self._algorithm
+
+    @property
+    def vector(self) -> Optional[Tuple[float, ...]]:
+        return self._vector
+
+    @property
+    def options(self) -> Dict[str, object]:
+        return dict(self._options)
+
+    def carries_execution(self) -> bool:
+        """Whether this spec declares how to run, not just what to ask
+        (algorithm, options, or a preference vector)."""
+        return (
+            self._algorithm is not None
+            or bool(self._options)
+            or self._vector is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Validation — the single rule set behind every entry point
+    # ------------------------------------------------------------------
+    def validate(self) -> "QuerySpec":
+        """Check the whole declaration; returns self when consistent.
+
+        Window-shape problems raise :class:`InvalidQueryError`;
+        preference problems raise
+        :class:`~repro.streams.preference.PreferenceError`.
+        """
+        from ..streams.preference import PreferenceError
+
+        self.build()  # InvalidQueryError on shape problems
+        if self._algorithm is not None:
+            from ..registry import algorithm_names
+
+            if self._algorithm not in algorithm_names():
+                raise InvalidQueryError(
+                    f"unknown algorithm {self._algorithm!r}; "
+                    f"have {algorithm_names()}"
+                )
+        if self._vector is not None:
+            from ..core.clustering import validate_vector
+
+            try:
+                validate_vector(self._vector)
+            except InvalidQueryError as exc:
+                raise PreferenceError(f"invalid preference vector: {exc}") from None
+            if self._preference is not None:
+                raise PreferenceError(
+                    "a spec cannot combine scored_by(F) with a preference "
+                    "vector: the vector is the preference"
+                )
+            if self._algorithm == "clustered":
+                raise PreferenceError(
+                    "'clustered' is the sharing wrapper itself; name the "
+                    "inner algorithm in using() (default SAP)"
+                )
+        elif self._algorithm == "clustered":
+            raise PreferenceError(
+                "the 'clustered' algorithm needs a preference vector; "
+                "declare one with preferring() (and name the inner "
+                "algorithm in using())"
+            )
+        elif self._cluster_id is not None or self._pad_factor is not None:
+            raise PreferenceError(
+                "cluster_id / pad_factor only apply to preference "
+                "subscriptions; declare a vector with preferring()"
+            )
+        return self
+
+    def execution_plan(self) -> Tuple[str, Dict[str, object]]:
+        """The validated ``(algorithm, options)`` pair an engine runs.
+
+        For preference specs the plan is the ``"clustered"`` wrapper
+        around the named inner algorithm; ``options["cluster_id"]`` is
+        left to the engine when the spec does not pin one (assignment is
+        engine-central).
+        """
+        self.validate()
+        algorithm = self._algorithm or "SAP"
+        if self._vector is None:
+            return algorithm, dict(self._options)
+        options = dict(self._options)
+        options["vector"] = self._vector
+        options["inner"] = algorithm
+        if self._cluster_id is not None:
+            options["cluster_id"] = int(self._cluster_id)
+        if self._pad_factor is not None:
+            options["pad_factor"] = float(self._pad_factor)
+        return "clustered", options
+
     # ------------------------------------------------------------------
     def build(self) -> TopKQuery:
-        """Validate and freeze the spec into a :class:`TopKQuery`."""
+        """Validate and freeze the window shape into a :class:`TopKQuery`."""
         if self._n is None:
             raise InvalidQueryError("QuerySpec is missing the window size: call .window(n)")
         if self._k is None:
@@ -102,9 +248,110 @@ class QuerySpec:
             time_based=query.time_based,
         )
 
+    # ------------------------------------------------------------------
+    # Wire form (the REST body of POST /v1/subscriptions)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls, body: Mapping, *, default_algorithm: str = "SAP"
+    ) -> "QuerySpec":
+        """Validate a wire dict into a spec — the REST body validator.
+
+        Recognised keys: ``n``, ``k``, ``s``, ``time_based``,
+        ``algorithm``, ``options``, ``preference`` (a weight vector),
+        ``cluster_id``, ``pad_factor``.  ``algorithm: "clustered"``
+        alongside a ``preference`` names the default inner core, matching
+        the legacy wire behaviour.
+        """
+        if not isinstance(body, Mapping):
+            raise InvalidQueryError("the subscription body must be a JSON object")
+        unknown = set(body) - {
+            "name", "n", "k", "s", "time_based", "algorithm", "options",
+            "preference", "cluster_id", "pad_factor",
+        }
+        if unknown:
+            raise InvalidQueryError(
+                f"unknown subscription parameter(s): {sorted(unknown)}"
+            )
+        try:
+            n = int(body["n"])
+            k = int(body["k"])
+        except KeyError as exc:
+            raise InvalidQueryError(
+                f"missing query parameter {exc.args[0]!r}"
+            ) from None
+        except (TypeError, ValueError) as exc:
+            raise InvalidQueryError(f"invalid query: {exc}") from None
+        try:
+            s = int(body.get("s", 1))
+        except (TypeError, ValueError) as exc:
+            raise InvalidQueryError(f"invalid slide size: {exc}") from None
+        algorithm = body.get("algorithm", default_algorithm)
+        if not isinstance(algorithm, str):
+            raise InvalidQueryError(
+                f"'algorithm' must be a string, got {type(algorithm).__name__}"
+            )
+        options = body.get("options") or {}
+        if not isinstance(options, Mapping):
+            raise InvalidQueryError("'options' must be a JSON object")
+        preference = body.get("preference")
+        vector = None
+        if preference is not None:
+            if not isinstance(preference, (list, tuple)):
+                from ..streams.preference import PreferenceError
+
+                raise PreferenceError(
+                    "'preference' must be an array of weights"
+                )
+            vector = tuple(preference)
+            if algorithm == "clustered":
+                # "clustered" is the wrapper itself; a preference query's
+                # ``algorithm`` names the inner core it shares.
+                algorithm = default_algorithm
+        cluster_id = body.get("cluster_id")
+        pad_factor = body.get("pad_factor")
+        spec = cls(
+            n=n,
+            k=k,
+            s=s,
+            time_based=bool(body.get("time_based", False)),
+            algorithm=algorithm,
+            options=dict(options),
+            vector=vector,
+            cluster_id=None if cluster_id is None else int(cluster_id),
+            pad_factor=None if pad_factor is None else float(pad_factor),
+        )
+        return spec.validate()
+
+    def to_dict(self) -> Dict[str, object]:
+        """The wire form of this spec (inverse of :meth:`from_dict` for
+        JSON-representable specs; ``scored_by`` functions are omitted)."""
+        payload: Dict[str, object] = {
+            "n": self._n,
+            "k": self._k,
+            "s": self._s,
+            "time_based": self._time_based,
+        }
+        if self._algorithm is not None:
+            payload["algorithm"] = self._algorithm
+        if self._options:
+            payload["options"] = dict(self._options)
+        if self._vector is not None:
+            payload["preference"] = list(self._vector)
+        if self._cluster_id is not None:
+            payload["cluster_id"] = self._cluster_id
+        if self._pad_factor is not None:
+            payload["pad_factor"] = self._pad_factor
+        return payload
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "time-based" if self._time_based else "count-based"
-        return f"QuerySpec(n={self._n}, k={self._k}, s={self._s}, {kind})"
+        extra = ""
+        if self._algorithm is not None:
+            extra += f", algorithm={self._algorithm!r}"
+        if self._vector is not None:
+            extra += f", vector={self._vector!r}"
+        return f"QuerySpec(n={self._n}, k={self._k}, s={self._s}, {kind}{extra})"
 
 
 def resolve_query(spec: object) -> TopKQuery:

@@ -3,23 +3,22 @@
 :class:`TopKServer` turns a :class:`~repro.engine.StreamEngine` (or a
 :class:`~repro.cluster.ShardedStreamEngine`) into a long-running network
 service — the ``repro serve`` CLI command is a thin wrapper around it.
-The HTTP surface:
+The HTTP surface is declared once, as data, in :mod:`repro.serve.schema`
+— :data:`~repro.serve.schema.ROUTES` is simultaneously the route table
+this module dispatches from and the documentation the README embeds.  The
+canonical paths live under ``/v1/``; the original unversioned paths stay
+as deprecated aliases whose responses carry a ``Deprecation: true``
+header and a ``Link`` to the successor path.  Subscription bodies are
+validated by :meth:`repro.engine.spec.QuerySpec.from_dict` — the same
+typed validator behind every library-level ``subscribe`` call.
 
-==========================================  ===================================
-``GET  /health``                            liveness probe
-``GET  /stats``                             server-wide ingest/session stats
-``GET  /metrics``                           Prometheus text format 0.0.4
-``GET  /metrics.json``                      JSON metrics snapshot (``repro top``)
-``POST /subscriptions``                     create a continuous query (429 +
-                                            ``Retry-After`` past the cap)
-``GET  /subscriptions``                     list subscription records
-``GET  /subscriptions/<name>``              record + engine stats (p50/p95/p99)
-``DELETE /subscriptions/<name>``            unsubscribe
-``GET  /subscriptions/<name>/results``      poll retained answers (``?drain=true``)
-``GET  /subscriptions/<name>/stream``       push answers over SSE
-``GET  /subscriptions/<name>/ws``           push answers over WebSocket
-``POST /events``                            ingest events (idempotent by id)
-==========================================  ===================================
+With :attr:`ServeConfig.durability_dir` set the server is crash-exact:
+the engine journals every ingested slide and checkpoints subscription
+state under that directory (:mod:`repro.durability`), and the serving
+layer keeps a ``sessions.json`` sidecar of the wire specs.  A restart
+pointed at the same directory rebuilds the engine, the sessions, and the
+retained answer histories, resumes the arrival clock, and continues the
+exact pre-crash answer stream.
 
 Threading model: the event loop owns every data structure in this module;
 the engine — which is synchronous, CPU-bound, and not thread-safe — lives
@@ -43,6 +42,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import threading
 import time
@@ -51,10 +51,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from ..core.exceptions import InvalidQueryError, ReproError
-from ..core.query import TopKQuery
+from ..engine.spec import QuerySpec
 from ..obs.exposition import render_prometheus
 from ..obs.registry import get_registry
-from ..registry import algorithm_names
+from ..streams.preference import PreferenceError
+from . import schema
 from .backpressure import (
     DEFAULT_CLIENT_QUEUE,
     DROP_OLDEST,
@@ -115,6 +116,12 @@ class ServeConfig:
     #: Per-subscription answer history retained for the polling endpoint.
     result_history: int = 1024
     default_algorithm: str = "SAP"
+    #: Durability: when set, the engine journals every ingested slide and
+    #: checkpoints subscription state under this directory, and a restart
+    #: pointed at the same directory recovers the exact pre-crash stream.
+    durability_dir: Optional[str] = None
+    #: Slides between checkpoints (None = the durability plane's default).
+    checkpoint_interval: Optional[int] = None
 
     def validate(self) -> "ServeConfig":
         if self.engine not in ("local", "sharded"):
@@ -134,6 +141,8 @@ class ServeConfig:
                 raise ValueError(f"{field_name} must be positive")
         if self.linger_ms < 0:
             raise ValueError("linger_ms must be >= 0")
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be positive")
         return self
 
 
@@ -142,10 +151,20 @@ def _default_engine_factory(config: ServeConfig):
         from ..cluster import ShardedStreamEngine
 
         return ShardedStreamEngine(
-            config.shards, keep_results=True, transport=config.transport
+            config.shards,
+            keep_results=True,
+            transport=config.transport,
+            durability_dir=config.durability_dir,
         )
     from ..engine import StreamEngine
 
+    if config.durability_dir is not None:
+        return StreamEngine.recover(
+            config.durability_dir,
+            checkpoint_interval=config.checkpoint_interval,
+            keep_results=True,
+            return_results=True,
+        )
     return StreamEngine(keep_results=True, return_results=True)
 
 
@@ -184,6 +203,16 @@ class TopKServer:
         self._shutdown_finished = False
         self._started_at = time.time()
         self.dropped_no_subscribers = 0
+        #: Serving-layer sidecar of subscription wire specs; together with
+        #: the engine journal it makes sessions crash-recoverable.
+        self._sessions_path = (
+            None
+            if self.config.durability_dir is None
+            else os.path.join(self.config.durability_dir, "sessions.json")
+        )
+        self._session_specs: Dict[str, Dict] = {}
+        #: Filled by :meth:`_recover_sessions` on a durable boot.
+        self.recovery_info: Optional[Dict[str, object]] = None
         # Serving-layer instruments ride the process metrics registry as a
         # pull-time collector over state the layers already maintain.
         self._metrics_registry = get_registry()
@@ -247,6 +276,8 @@ class TopKServer:
     async def start(self) -> "TopKServer":
         self._loop = asyncio.get_running_loop()
         self._engine = await self._engine_call(self._engine_factory, self.config)
+        if self.config.durability_dir is not None:
+            await self._recover_sessions()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -322,16 +353,10 @@ class TopKServer:
         assert self._loop is not None
         return await self._loop.run_in_executor(self._executor, fn, *args)
 
-    def _subscribe_engine(
-        self, name: str, query: TopKQuery, algorithm: str, preference=None
-    ):
-        if preference is not None:
-            # Both engine planes (local and sharded) expose the same
-            # preference surface; ``algorithm`` names the inner core.
-            return self._engine.subscribe_preference(
-                name, query, preference, algorithm=algorithm
-            )
-        return self._engine.subscribe(name, query, algorithm=algorithm)
+    def _subscribe_engine(self, name: str, spec: QuerySpec):
+        # One typed entry point: both engine planes accept a QuerySpec
+        # carrying its own execution plan (algorithm, options, preference).
+        return self._engine.subscribe(name, spec)
 
     def _push_and_drain(self, batch) -> Dict[str, List]:
         """One executor job: ingest a batch and collect its answers."""
@@ -367,59 +392,34 @@ class TopKServer:
             raise ProtocolError(400, "a subscription requires a non-empty 'name'")
         if name in self.registry:
             raise ProtocolError(409, f"subscription {name!r} already exists")
-        algorithm = body.get("algorithm", self.config.default_algorithm)
-        if algorithm not in algorithm_names():
-            raise ProtocolError(
-                400, f"unknown algorithm {algorithm!r}; have {algorithm_names()}"
-            )
-        preference = body.get("preference")
-        if preference is not None:
-            from ..core.clustering import validate_vector
-
-            try:
-                preference = validate_vector(preference)
-            except InvalidQueryError as exc:
-                raise ProtocolError(400, f"invalid preference vector: {exc}") from None
-            if algorithm == "clustered":
-                # "clustered" is the wrapper itself; a preference query's
-                # ``algorithm`` names the inner core it shares.
-                algorithm = "SAP"
-        elif algorithm == "clustered":
-            raise ProtocolError(
-                400,
-                "the 'clustered' algorithm needs a 'preference' vector; "
-                "declare one (and name the inner algorithm in 'algorithm')",
-            )
         try:
-            query = TopKQuery(
-                n=int(body["n"]),
-                k=int(body["k"]),
-                s=int(body.get("s", 1)),
-                time_based=bool(body.get("time_based", False)),
+            # The one wire validator: the same QuerySpec rules every
+            # library-level subscribe call enforces.
+            spec = QuerySpec.from_dict(
+                {key: value for key, value in body.items() if key != "name"},
+                default_algorithm=self.config.default_algorithm,
             )
-        except KeyError as exc:
-            raise ProtocolError(400, f"missing query parameter {exc.args[0]!r}") from None
-        except (InvalidQueryError, TypeError, ValueError) as exc:
-            raise ProtocolError(400, f"invalid query: {exc}") from None
+        except (InvalidQueryError, PreferenceError) as exc:
+            raise ProtocolError(400, str(exc)) from None
 
         self.admission.admit()  # raises AdmissionError -> 429
         try:
-            handle = await self._engine_call(
-                self._subscribe_engine, name, query, algorithm, preference
-            )
+            handle = await self._engine_call(self._subscribe_engine, name, spec)
         except BaseException:
             self.admission.release()
             raise
         session = Session(
             name,
-            query,
-            algorithm,
+            handle.query,
+            spec.algorithm or self.config.default_algorithm,
             handle,
             history=self.config.result_history,
-            preference=preference,
+            preference=spec.vector,
         )
         self.registry.add(session)
         self.batcher.set_alignment(self.registry.slide_sizes())
+        self._session_specs[name] = spec.to_dict()
+        self._persist_sessions()
         return session
 
     async def remove_subscription(self, name: str) -> None:
@@ -434,7 +434,106 @@ class TopKServer:
             # answer (new subscriptions only window future arrivals), so
             # drop them under the same rule as subscriber-less ingestion.
             self.dropped_no_subscribers += len(self.batcher.take_all())
+        self._session_specs.pop(name, None)
+        self._persist_sessions()
         await self._engine_call(self._engine.unsubscribe, name)
+
+    # ------------------------------------------------------------------
+    # Durability: the sessions sidecar and crash recovery
+    # ------------------------------------------------------------------
+    def _persist_sessions(self) -> None:
+        """Atomically rewrite the sessions sidecar (durable servers only).
+
+        The engine journal recovers the subscriptions themselves; the
+        sidecar recovers the serving layer's view of them (the wire
+        specs), so a restarted server can rebuild its Session objects.
+        """
+        if self._sessions_path is None:
+            return
+        tmp = self._sessions_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self._session_specs, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._sessions_path)
+
+    def _live_subscription_handles(self) -> Dict[str, object]:
+        """Engine-thread job: every recovered subscription's handle."""
+        engine = self._engine
+        return {name: engine.subscription(name) for name in engine.subscriptions()}
+
+    def _recovered_next_t(self) -> int:
+        """Engine-thread job: where the recovered arrival clock resumes."""
+        engine = self._engine
+        report = getattr(engine, "recovery_report", None)
+        if report is not None:
+            return int(report.next_t)
+        status = getattr(engine, "durability_status", None)
+        if callable(status):
+            # Every shard sees the whole (dense-t) stream, so the furthest
+            # shard's ingest count is the next arrival index.
+            return max(
+                (int(entry.get("ingested") or 0) for entry in status()),
+                default=0,
+            )
+        return 0
+
+    async def _recover_sessions(self) -> None:
+        """Rebuild the serving layer over an engine recovered from disk.
+
+        For each subscription the engine brought back, a Session is
+        reconstructed from the sidecar's wire spec (falling back to the
+        engine handle's own query when the sidecar lags a crash), the
+        replayed answers are dispatched into its bounded history — so a
+        polling client sees the exact stream an uncrashed server retained
+        — and the ingest clock resumes past the journaled tail.
+        """
+        stored: Dict[str, Dict] = {}
+        if self._sessions_path is not None:
+            try:
+                with open(self._sessions_path, "r", encoding="utf-8") as fh:
+                    stored = json.load(fh)
+            except (OSError, ValueError):
+                stored = {}
+        handles = await self._engine_call(self._live_subscription_handles)
+        self._session_specs = {}
+        for name, handle in handles.items():
+            spec: Optional[QuerySpec] = None
+            payload = stored.get(name)
+            if payload is not None:
+                try:
+                    spec = QuerySpec.from_dict(
+                        payload, default_algorithm=self.config.default_algorithm
+                    )
+                except (InvalidQueryError, PreferenceError):
+                    spec = None
+            if spec is None:
+                spec = QuerySpec.from_query(handle.query).using(
+                    self.config.default_algorithm
+                )
+            self.admission.admit()
+            self.registry.add(
+                Session(
+                    name,
+                    handle.query,
+                    spec.algorithm or self.config.default_algorithm,
+                    handle,
+                    history=self.config.result_history,
+                    preference=spec.vector,
+                )
+            )
+            self._session_specs[name] = spec.to_dict()
+        self._persist_sessions()
+        replayed = await self._engine_call(self._engine.drain_results)
+        routed = self.registry.dispatch(replayed or {})
+        self.batcher.set_alignment(self.registry.slide_sizes())
+        next_t = await self._engine_call(self._recovered_next_t)
+        self.batcher.resume_from(next_t)
+        self.recovery_info = {
+            "recovered_subscriptions": len(handles),
+            "replayed_results": routed,
+            "resumed_at_t": next_t,
+        }
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -542,88 +641,107 @@ class TopKServer:
         return False
 
     async def _route(self, request: HttpRequest, reader, writer) -> bool:
-        segments = request.segments
-        method = request.method
+        """Dispatch one request from the declarative route table.
 
-        if segments == ("health",) and method == "GET":
-            self._reply(writer, 200, {"status": "ok", "uptime_s": self._uptime()})
-        elif segments == ("stats",) and method == "GET":
-            self._reply(writer, 200, self.describe())
-        elif segments == ("metrics",) and method == "GET":
-            text = render_prometheus(await self._metrics_snapshot())
-            writer.write(
-                render_response(
-                    200,
-                    text.encode(),
-                    content_type="text/plain; version=0.0.4; charset=utf-8",
-                )
+        :data:`repro.serve.schema.ROUTES` is the single definition of the
+        wire surface; this method only resolves a match, runs the bound
+        handler, and stamps deprecation headers on unversioned-alias
+        responses.  Streaming handlers take over the connection (and
+        return True here); plain handlers return a
+        ``(status, payload, content_type)`` triple.
+        """
+        try:
+            matched = schema.match(request.method, request.segments)
+        except schema.RouteNotFound:
+            raise ProtocolError(404, f"no route for {request.path}") from None
+        except schema.MethodNotAllowed as exc:
+            raise ProtocolError(
+                405,
+                f"{request.method} not allowed here (allowed: {exc})",
+            ) from None
+        handler = getattr(self, "_h_" + matched.route.handler)
+        if matched.route.streaming:
+            await handler(request, matched.params, reader, writer)
+            return True
+        status, payload, content_type = await handler(request, matched.params)
+        writer.write(
+            render_response(
+                status,
+                payload,
+                headers=matched.deprecation_headers(),
+                content_type=content_type,
             )
-        elif segments == ("metrics.json",) and method == "GET":
-            self._reply(
-                writer,
-                200,
-                {"ts": time.time(), "metrics": await self._metrics_snapshot()},
-            )
-        elif segments == ("events",) and method == "POST":
-            body = request.json()
-            if isinstance(body, dict) and "events" in body:
-                events = body["events"]
-            elif isinstance(body, dict):
-                events = [body]
-            else:
-                events = body
-            if not isinstance(events, list):
-                raise ProtocolError(400, "'events' must be a JSON array")
-            self._reply(writer, 200, await self.ingest(events))
-        elif segments == ("subscriptions",) and method == "POST":
-            session = await self.create_subscription(request.json())
-            self._reply(writer, 201, session.describe())
-        elif segments == ("subscriptions",) and method == "GET":
-            self._reply(
-                writer,
-                200,
-                {"subscriptions": [s.describe() for s in self.registry.sessions()]},
-            )
-        elif len(segments) == 2 and segments[0] == "subscriptions":
-            name = segments[1]
-            if method == "GET":
-                session = self._session(name)
-                self._reply(writer, 200, await self._engine_call(session.stats))
-            elif method == "DELETE":
-                await self.remove_subscription(name)
-                self._reply(writer, 204, None)
-            else:
-                raise ProtocolError(405, f"{method} not allowed here")
-        elif len(segments) == 3 and segments[0] == "subscriptions":
-            name, tail = segments[1], segments[2]
-            session = self._session(name)
-            if tail == "results" and method == "GET":
-                drain = request.query.get("drain", "").lower() in ("1", "true", "yes")
-                self._reply(writer, 200, {"results": session.read_history(drain)})
-            elif tail == "stream" and method == "GET":
-                await self._serve_sse(session, reader, writer)
-                return True
-            elif tail == "ws" and method == "GET":
-                if not is_websocket_upgrade(request):
-                    raise ProtocolError(400, "expected a WebSocket upgrade request")
-                await self._serve_websocket(session, request, reader, writer)
-                return True
-            else:
-                raise ProtocolError(404, f"no route for {request.path}")
-        else:
-            raise ProtocolError(404, f"no route for {request.path}")
+        )
         await writer.drain()
         return False
+
+    # ------------------------------------------------------------------
+    # Route handlers (bound from schema.ROUTES by handler key)
+    # ------------------------------------------------------------------
+    async def _h_health(self, request, params):
+        return 200, {"status": "ok", "uptime_s": self._uptime()}, None
+
+    async def _h_stats(self, request, params):
+        return 200, self.describe(), None
+
+    async def _h_metrics(self, request, params):
+        text = render_prometheus(await self._metrics_snapshot())
+        return 200, text.encode(), "text/plain; version=0.0.4; charset=utf-8"
+
+    async def _h_metrics_json(self, request, params):
+        return 200, {"ts": time.time(), "metrics": await self._metrics_snapshot()}, None
+
+    async def _h_ingest(self, request, params):
+        body = request.json()
+        if isinstance(body, dict) and "events" in body:
+            events = body["events"]
+        elif isinstance(body, dict):
+            events = [body]
+        else:
+            events = body
+        if not isinstance(events, list):
+            raise ProtocolError(400, "'events' must be a JSON array")
+        return 200, await self.ingest(events), None
+
+    async def _h_create_subscription(self, request, params):
+        session = await self.create_subscription(request.json())
+        return 201, session.describe(), None
+
+    async def _h_list_subscriptions(self, request, params):
+        return (
+            200,
+            {"subscriptions": [s.describe() for s in self.registry.sessions()]},
+            None,
+        )
+
+    async def _h_get_subscription(self, request, params):
+        session = self._session(params["name"])
+        return 200, await self._engine_call(session.stats), None
+
+    async def _h_delete_subscription(self, request, params):
+        await self.remove_subscription(params["name"])
+        return 204, None, None
+
+    async def _h_get_results(self, request, params):
+        session = self._session(params["name"])
+        drain = request.query.get("drain", "").lower() in ("1", "true", "yes")
+        return 200, {"results": session.read_history(drain)}, None
+
+    async def _h_stream_sse(self, request, params, reader, writer):
+        session = self._session(params["name"])
+        await self._serve_sse(session, reader, writer)
+
+    async def _h_stream_ws(self, request, params, reader, writer):
+        session = self._session(params["name"])
+        if not is_websocket_upgrade(request):
+            raise ProtocolError(400, "expected a WebSocket upgrade request")
+        await self._serve_websocket(session, request, reader, writer)
 
     def _session(self, name: str) -> Session:
         session = self.registry.get(name)
         if session is None:
             raise ProtocolError(404, f"no subscription named {name!r}")
         return session
-
-    @staticmethod
-    def _reply(writer, status: int, payload) -> None:
-        writer.write(render_response(status, payload))
 
     def _uptime(self) -> float:
         return round(time.time() - self._started_at, 3)
@@ -633,6 +751,10 @@ class TopKServer:
         return {
             "engine": self.config.engine,
             "uptime_s": self._uptime(),
+            "durability": {
+                "dir": self.config.durability_dir,
+                "recovery": self.recovery_info,
+            },
             "ingest": {
                 **self.batcher.stats(),
                 "dedupe": self.dedupe.stats(),

@@ -152,6 +152,16 @@ class IngestBatcher:
         self._alignment = lcm
         return lcm
 
+    def resume_from(self, next_t: int) -> int:
+        """Advance the arrival clock past a recovered stream's tail.
+
+        After crash recovery the engine's windows already contain objects
+        up to some ``t``; new arrivals must continue the same dense
+        sequence, never rewind it.
+        """
+        self._next_t = max(self._next_t, int(next_t))
+        return self._next_t
+
     def append(self, score: float, payload: object = None) -> StreamObject:
         obj = StreamObject(score=score, t=self._next_t, payload=payload)
         self._next_t += 1

@@ -1,0 +1,1 @@
+"""Crash-injection and durability-plane tests (checkpoints + WAL)."""

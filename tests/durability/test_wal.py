@@ -1,0 +1,165 @@
+"""Unit tests of the segmented write-ahead log.
+
+The log's contract is narrow but sharp: global sequence numbers survive
+rotation, truncation, and reopening; a torn tail (crash mid-append) is
+silently dropped from the *last* segment only; corruption anywhere else
+is an error, never silent data loss.
+"""
+
+import os
+
+import pytest
+
+from repro.durability.wal import (
+    KIND_CHUNK,
+    KIND_OP,
+    WalCorruptionError,
+    WriteAheadLog,
+)
+
+
+def _segments(directory):
+    return sorted(
+        name for name in os.listdir(directory)
+        if name.startswith("wal-") and name.endswith(".log")
+    )
+
+
+class TestAppendReplay:
+    def test_roundtrip_preserves_kind_payload_and_order(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path))
+        records = [
+            (KIND_CHUNK, b"chunk-0"),
+            (KIND_OP, b"op-0"),
+            (KIND_CHUNK, b"chunk-1"),
+        ]
+        for kind, payload in records:
+            log.append(kind, payload)
+        log.close()
+        assert list(WriteAheadLog(str(tmp_path)).replay()) == records
+
+    def test_append_returns_dense_global_sequence(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path))
+        seqs = [log.append(KIND_CHUNK, b"x") for _ in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+        assert log.next_seq == 5
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path))
+        with pytest.raises(ValueError):
+            log.append(99, b"payload")
+
+    def test_replay_after_seq_skips_prefix(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path))
+        for i in range(6):
+            log.append(KIND_CHUNK, b"r%d" % i)
+        log.close()
+        tail = list(WriteAheadLog(str(tmp_path)).replay(after_seq=4))
+        assert tail == [(KIND_CHUNK, b"r4"), (KIND_CHUNK, b"r5")]
+
+
+class TestRotationAndReopen:
+    def test_small_segment_limit_rotates(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path), segment_bytes=32)
+        for i in range(8):
+            log.append(KIND_CHUNK, b"payload-%d" % i)
+        log.close()
+        assert len(_segments(str(tmp_path))) > 1
+        replayed = [p for _, p in WriteAheadLog(str(tmp_path)).replay()]
+        assert replayed == [b"payload-%d" % i for i in range(8)]
+
+    def test_reopen_recovers_next_seq_and_starts_fresh_segment(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path))
+        for _ in range(3):
+            log.append(KIND_OP, b"op")
+        log.close()
+        before = _segments(str(tmp_path))
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.next_seq == 3
+        assert reopened.append(KIND_OP, b"later") == 3
+        reopened.close()
+        # reopening never appends into an old segment (single-writer "xb")
+        assert len(_segments(str(tmp_path))) == len(before) + 1
+
+    def test_segment_names_carry_first_seq(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path), segment_bytes=1)
+        for _ in range(3):
+            log.append(KIND_CHUNK, b"one-record-per-segment")
+        log.close()
+        assert _segments(str(tmp_path)) == [
+            "wal-0000000000000000.log",
+            "wal-0000000000000001.log",
+            "wal-0000000000000002.log",
+        ]
+
+
+class TestTruncate:
+    def test_truncate_removes_only_fully_covered_segments(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path), segment_bytes=1)  # 1 record/segment
+        for i in range(4):
+            log.append(KIND_CHUNK, b"r%d" % i)
+        removed = log.truncate(before_seq=2)
+        assert removed == 2
+        assert [p for _, p in log.replay()] == [b"r2", b"r3"]
+        log.close()
+
+    def test_live_segment_survives_truncation(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path))
+        for i in range(5):
+            log.append(KIND_CHUNK, b"r%d" % i)
+        # everything lives in one (live) segment: nothing removable
+        assert log.truncate(before_seq=5) == 0
+        log.close()
+
+    def test_sequence_stays_global_across_truncate_and_reopen(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path), segment_bytes=1)
+        for i in range(4):
+            log.append(KIND_CHUNK, b"r%d" % i)
+        log.truncate(before_seq=3)
+        log.close()
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.next_seq == 4
+        assert reopened.append(KIND_CHUNK, b"r4") == 4
+        reopened.close()
+
+
+class TestCorruption:
+    def test_torn_tail_in_last_segment_is_dropped(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path))
+        log.append(KIND_CHUNK, b"intact-0")
+        log.append(KIND_CHUNK, b"intact-1")
+        log.close()
+        (segment,) = _segments(str(tmp_path))
+        with open(tmp_path / segment, "ab") as handle:
+            handle.write(b"\x01\xff\xff")  # crash mid-append: partial header
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.next_seq == 2
+        assert [p for _, p in reopened.replay()] == [b"intact-0", b"intact-1"]
+        reopened.close()
+
+    def test_corrupt_payload_in_last_segment_stops_at_tear(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path))
+        log.append(KIND_CHUNK, b"good-record")
+        log.append(KIND_CHUNK, b"bad--record")
+        log.close()
+        (segment,) = _segments(str(tmp_path))
+        path = tmp_path / segment
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a byte inside the final record's payload
+        path.write_bytes(bytes(data))
+        assert [p for _, p in WriteAheadLog(str(tmp_path)).replay()] == [
+            b"good-record"
+        ]
+
+    def test_corruption_in_earlier_segment_raises(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path), segment_bytes=1)
+        log.append(KIND_CHUNK, b"first-segment")
+        log.append(KIND_CHUNK, b"second-segment")
+        log.close()
+        first = _segments(str(tmp_path))[0]
+        path = tmp_path / first
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError):
+            list(WriteAheadLog(str(tmp_path)).replay())

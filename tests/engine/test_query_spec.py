@@ -53,3 +53,147 @@ class TestResolveQuery:
     def test_rejects_other_types(self):
         with pytest.raises(TypeError):
             resolve_query({"n": 50, "k": 3})
+
+
+class TestExecutionPlan:
+    def test_plain_spec_defaults_to_sap(self):
+        assert QuerySpec(n=10, k=2).execution_plan() == ("SAP", {})
+
+    def test_using_carries_algorithm_and_options(self):
+        algorithm, options = (
+            QuerySpec(n=10, k=2).using("MinTopK", prune=True).execution_plan()
+        )
+        assert algorithm == "MinTopK"
+        assert options == {"prune": True}
+
+    def test_preferring_folds_into_clustered_wrapper(self):
+        algorithm, options = (
+            QuerySpec(n=10, k=2)
+            .using("MinTopK")
+            .preferring((2.0, 1.0), cluster_id=3, pad_factor=1.5)
+            .execution_plan()
+        )
+        assert algorithm == "clustered"
+        assert options["vector"] == (2.0, 1.0)
+        assert options["inner"] == "MinTopK"
+        assert options["cluster_id"] == 3
+        assert options["pad_factor"] == 1.5
+
+    def test_unpinned_cluster_id_left_to_the_engine(self):
+        _, options = QuerySpec(n=10, k=2).preferring((1.0, 1.0)).execution_plan()
+        assert "cluster_id" not in options
+
+    def test_carries_execution(self):
+        assert not QuerySpec(n=10, k=2).carries_execution()
+        assert QuerySpec(n=10, k=2).using("SAP").carries_execution()
+        assert QuerySpec(n=10, k=2).preferring((1.0,)).carries_execution()
+
+
+class TestValidate:
+    def _pref_error(self):
+        from repro.streams.preference import PreferenceError
+
+        return PreferenceError
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(InvalidQueryError, match="unknown algorithm"):
+            QuerySpec(n=10, k=2).using("NotAnAlgorithm").validate()
+
+    def test_clustered_without_vector_rejected(self):
+        with pytest.raises(self._pref_error(), match="preference vector"):
+            QuerySpec(n=10, k=2).using("clustered").validate()
+
+    def test_clustered_with_vector_rejected(self):
+        # "clustered" is the wrapper itself, never a valid inner name
+        with pytest.raises(self._pref_error(), match="inner"):
+            QuerySpec(n=10, k=2).using("clustered").preferring((1.0,)).validate()
+
+    def test_cluster_id_without_vector_rejected(self):
+        with pytest.raises(self._pref_error(), match="cluster_id"):
+            QuerySpec(n=10, k=2, cluster_id=1).validate()
+
+    def test_scored_by_conflicts_with_vector(self):
+        spec = QuerySpec(n=10, k=2).scored_by(lambda r: r[0]).preferring((1.0,))
+        with pytest.raises(self._pref_error(), match="vector is the preference"):
+            spec.validate()
+
+
+class TestWireForm:
+    """from_dict is the single REST body validator behind
+    ``POST /v1/subscriptions``; to_dict is its inverse."""
+
+    def test_minimal_body(self):
+        spec = QuerySpec.from_dict({"n": 100, "k": 5})
+        query = spec.build()
+        assert (query.n, query.k, query.s) == (100, 5, 1)
+
+    def test_name_key_tolerated(self):
+        # the serving layer passes the whole body; "name" is its key
+        QuerySpec.from_dict({"name": "x", "n": 10, "k": 2})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(InvalidQueryError, match="bogus"):
+            QuerySpec.from_dict({"n": 10, "k": 2, "bogus": 1})
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(InvalidQueryError, match="'k'"):
+            QuerySpec.from_dict({"n": 10})
+
+    def test_non_numeric_shape_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            QuerySpec.from_dict({"n": "ten", "k": 2})
+
+    def test_default_algorithm_applies(self):
+        spec = QuerySpec.from_dict({"n": 10, "k": 2}, default_algorithm="MinTopK")
+        assert spec.execution_plan()[0] == "MinTopK"
+
+    def test_preference_must_be_an_array(self):
+        from repro.streams.preference import PreferenceError
+
+        with pytest.raises(PreferenceError, match="array of weights"):
+            QuerySpec.from_dict({"n": 10, "k": 2, "preference": "nope"})
+
+    def test_clustered_wire_algorithm_names_default_inner(self):
+        # legacy wire behaviour: algorithm "clustered" + a preference
+        # means "the sharing wrapper around the default inner core"
+        spec = QuerySpec.from_dict(
+            {"n": 10, "k": 2, "preference": [1.0, 0.5], "algorithm": "clustered"},
+            default_algorithm="MinTopK",
+        )
+        algorithm, options = spec.execution_plan()
+        assert algorithm == "clustered"
+        assert options["inner"] == "MinTopK"
+
+    def test_to_dict_from_dict_round_trip(self):
+        spec = QuerySpec.from_dict(
+            {
+                "n": 40,
+                "k": 4,
+                "s": 8,
+                "algorithm": "MinTopK",
+                "preference": [1.0, 0.25],
+                "pad_factor": 1.2,
+            }
+        )
+        assert QuerySpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+
+class TestLegacyShims:
+    def test_subscribe_preference_emits_deprecation_warning(self):
+        from repro.engine import StreamEngine
+
+        engine = StreamEngine()
+        with pytest.warns(DeprecationWarning, match="subscribe_preference"):
+            engine.subscribe_preference(
+                "p", QuerySpec(n=10, k=2, s=5), (1.0, 0.5)
+            )
+        assert "p" in engine.subscriptions()
+
+    def test_spec_with_execution_rejects_algorithm_argument(self):
+        from repro.engine import StreamEngine
+
+        engine = StreamEngine()
+        with pytest.raises(ValueError, match="already declares its execution"):
+            engine.subscribe(
+                "q", QuerySpec(n=10, k=2).using("MinTopK"), "SMA"
+            )
